@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Full unit + integration suite with the outputs the repo records.
+record:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+bench:
+	go test -bench=. -benchmem
+
+# Regenerate every paper table/figure at full size (see EXPERIMENTS.md).
+experiments:
+	go run ./cmd/experiments -run all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/cifar_resnet101
+	go run ./examples/bert_finetune
+	go run ./examples/hyperband
+	go run ./examples/straggler_study
+	go run ./examples/spot_market
+	go run ./examples/grid_search
+
+clean:
+	go clean ./...

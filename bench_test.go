@@ -1,0 +1,278 @@
+// Package repro benchmarks the reproduction's experiment harness: one
+// benchmark per paper table/figure (running the same code paths as
+// cmd/experiments, at reduced sweep sizes so the suite stays fast) plus
+// micro-benchmarks of the planner, simulator, placement controller and
+// executor hot paths.
+//
+// Regenerate the full-size artifacts with:
+//
+//	go run ./cmd/experiments -run all
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/planner"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// benchCfg matches the experiment tests' fast configuration.
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 1, Seeds: 2, Samples: 5, Fast: true}
+}
+
+// BenchmarkFig4Scaling regenerates Figure 4 (model scaling curves).
+func BenchmarkFig4Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Stragglers regenerates Figure 9 (straggler/billing sweep).
+func BenchmarkFig9Stragglers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10DataPrice regenerates Figure 10 (data I/O price sweep).
+func BenchmarkFig10DataPrice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11JobSize regenerates Figure 11 (trial-count sweep).
+func BenchmarkFig11JobSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12InitLatency regenerates Figure 12 (init-latency sweep).
+func BenchmarkFig12InitLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Placement regenerates Table 1 (placement ablation).
+func BenchmarkTable1Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2EndToEnd regenerates Table 2 (deadline sweep, all three
+// policies, planned and executed).
+func BenchmarkTable2EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Schedule regenerates Table 3 (the realized elastic
+// schedule of the 20-minute plan).
+func BenchmarkTable3Schedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Models regenerates Table 4 (cost across models).
+func BenchmarkTable4Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPlanner regenerates the planner design-choice
+// ablations.
+func BenchmarkAblationPlanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionASHA regenerates the ASHA-vs-RubberBand comparison.
+func BenchmarkExtensionASHA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ASHA(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionSpot regenerates the spot-preemption sweep.
+func BenchmarkExtensionSpot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Spot(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFidelity regenerates the randomized sim-vs-real validation.
+func BenchmarkFidelity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fidelity(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionInstances regenerates the instance-type selection.
+func BenchmarkExtensionInstances(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Instances(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func benchSimulator(b *testing.B, samples int) *sim.Simulator {
+	b.Helper()
+	s := spec.MustSHA(64, 4, 508, 2)
+	prof := sim.ModelTrainProfile{Model: model.ResNet50(), Batch: 512, GPUsPerNode: 4}
+	cp := sim.DefaultCloudProfile()
+	cp.Overheads = cloud.Overheads{
+		QueueDelay:  stats.Deterministic{Value: 5},
+		InitLatency: stats.Deterministic{Value: 15},
+	}
+	sm, err := sim.New(s, prof, cp, samples, stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sm
+}
+
+// BenchmarkSimEstimate measures one plan evaluation — the unit of work
+// the greedy planner spends its budget on.
+func BenchmarkSimEstimate(b *testing.B) {
+	sm := benchSimulator(b, 20)
+	plan := sim.Uniform(32, sm.Spec().NumStages())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.Estimate(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDAGSample measures one Monte-Carlo draw over the execution
+// DAG.
+func BenchmarkDAGSample(b *testing.B) {
+	sm := benchSimulator(b, 1)
+	g, err := sm.BuildDAG(sim.Uniform(32, sm.Spec().NumStages()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Sample(rng)
+	}
+}
+
+// BenchmarkPlanStatic measures the warm-start enumeration.
+func BenchmarkPlanStatic(b *testing.B) {
+	p := &planner.Planner{Sim: benchSimulator(b, 5), Deadline: 900, MaxGPUs: 128}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PlanStatic(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanElastic measures a full greedy plan compilation
+// (Algorithm 2 with multi-warm-start).
+func BenchmarkPlanElastic(b *testing.B) {
+	p := &planner.Planner{Sim: benchSimulator(b, 5), Deadline: 900, MaxGPUs: 128}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PlanElastic(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementUpdate measures one placement epoch: 32 trials
+// reassigned across 16 nodes (Algorithm 3).
+func BenchmarkPlacementUpdate(b *testing.B) {
+	cnodes := make([]*cluster.Node, 16)
+	for i := range cnodes {
+		cnodes[i] = &cluster.Node{ID: cluster.NodeID(i), GPUs: 8}
+	}
+	allocs := make(map[placement.TrialID]int, 32)
+	for i := 0; i < 32; i++ {
+		allocs[placement.TrialID(i)] = 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := placement.NewController(8)
+		if _, err := c.Update(allocs, cnodes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistSample measures the straggler latency draw on the
+// executor's per-iteration path.
+func BenchmarkDistSample(b *testing.B) {
+	m := model.ResNet50()
+	d := m.IterLatencyDist(512, 4, 1)
+	rng := stats.NewRNG(3)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += d.Sample(rng)
+	}
+	_ = sink
+}
+
+// BenchmarkCriticalPath measures critical-path extraction from a sampled
+// schedule.
+func BenchmarkCriticalPath(b *testing.B) {
+	sm := benchSimulator(b, 1)
+	g, err := sm.BuildDAG(sim.Uniform(32, sm.Spec().NumStages()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	timings, _ := g.Sample(stats.NewRNG(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := g.CriticalPath(timings); len(p) == 0 {
+			b.Fatal("empty path")
+		}
+	}
+}

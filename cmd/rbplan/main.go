@@ -1,0 +1,104 @@
+// Command rbplan compiles resource allocation plans without executing
+// them, printing each policy's plan and predicted JCT/cost side by side —
+// useful for exploring how the planner responds to deadlines, pricing and
+// model scaling.
+//
+// Usage:
+//
+//	rbplan -model resnet101 -deadline 20m
+//	rbplan -model resnet50 -trials 64 -min-iters 4 -max-iters 508 -eta 2 -deadline 15m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/searchspace"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet101", "model to tune: resnet50, resnet101, resnet152, bert")
+		deadline  = flag.Duration("deadline", 20*time.Minute, "job time constraint")
+		trials    = flag.Int("trials", 32, "SHA initial trial count n")
+		minIters  = flag.Int("min-iters", 1, "SHA minimum per-trial work r")
+		maxIters  = flag.Int("max-iters", 50, "SHA maximum cumulative work R")
+		eta       = flag.Int("eta", 3, "SHA termination rate η")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		samples   = flag.Int("samples", 20, "simulator Monte-Carlo samples per plan")
+		breakdown = flag.Bool("breakdown", false, "print the RubberBand plan's per-stage time/cost decomposition")
+	)
+	flag.Parse()
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	sha, err := spec.SHA(spec.SHAParams{N: *trials, R: *minIters, MaxR: *maxIters, Eta: *eta})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spec %v, deadline %v, model %s\n\n", sha, *deadline, m.Name)
+	fmt.Printf("%-14s %-28s %-10s %-10s\n", "policy", "plan (GPUs per stage)", "JCT (s)", "cost ($)")
+
+	for _, policy := range []core.Policy{core.PolicyStatic, core.PolicyNaiveElastic, core.PolicyRubberBand} {
+		exp := &core.Experiment{
+			Model:    m,
+			Space:    searchspace.DefaultVisionSpace(),
+			Spec:     sha,
+			Deadline: *deadline,
+			Policy:   policy,
+			Seed:     *seed,
+			Samples:  *samples,
+		}
+		res, _, err := exp.Plan()
+		if err != nil {
+			if err == planner.ErrInfeasible {
+				fmt.Printf("%-14s %-28s\n", policy, "infeasible within resource cap")
+				continue
+			}
+			fatal(err)
+		}
+		fmt.Printf("%-14s %-28s %-10.0f %-10.2f\n",
+			policy, res.Plan.String(), res.Estimate.JCT, res.Estimate.Cost)
+
+		if *breakdown && policy == core.PolicyRubberBand {
+			printBreakdown(m, sha, *deadline, *seed, *samples, res.Plan)
+		}
+	}
+}
+
+// printBreakdown re-simulates the chosen plan and prints its per-stage
+// decomposition.
+func printBreakdown(m *model.Model, sha *spec.ExperimentSpec, deadline time.Duration, seed uint64, samples int, plan sim.Plan) {
+	cp := sim.DefaultCloudProfile()
+	cp.DatasetGB = m.Dataset.SizeGB
+	prof := sim.ModelTrainProfile{Model: m, Batch: m.BaseBatch, GPUsPerNode: cp.Instance.GPUs}
+	sm, err := sim.New(sha, prof, cp, samples, stats.NewRNG(seed+1))
+	if err != nil {
+		fatal(err)
+	}
+	rows, err := sm.Breakdown(plan)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%-7s %-7s %-11s %-10s %-12s %-10s\n",
+		"stage", "trials", "GPUs/trial", "machines", "duration (s)", "cost ($)")
+	for _, r := range rows {
+		fmt.Printf("%-7d %-7d %-11d %-10d %-12.0f %-10.2f\n",
+			r.Stage, r.Trials, r.GPUsPerTrial, r.Instances, r.Duration, r.Cost)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rbplan:", err)
+	os.Exit(1)
+}

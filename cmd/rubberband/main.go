@@ -1,0 +1,208 @@
+// Command rubberband plans and executes one hyperparameter tuning job
+// end-to-end on the simulated cloud, printing the compiled allocation
+// plan, the simulator's prediction, and the realized JCT, cost, schedule
+// and winning configuration.
+//
+// Usage:
+//
+//	rubberband -model resnet101 -deadline 20m
+//	rubberband -model bert -policy static -trials 16 -min-iters 1 -max-iters 30 -eta 3
+//	rubberband -model resnet50 -deadline 15m -profile -trace trace.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/searchspace"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet101", "model to tune: resnet50, resnet101, resnet152, bert")
+		deadline  = flag.Duration("deadline", 20*time.Minute, "job time constraint")
+		policyStr = flag.String("policy", "rubberband", "allocation policy: rubberband, static, naive")
+		trials    = flag.Int("trials", 32, "SHA initial trial count n")
+		minIters  = flag.Int("min-iters", 1, "SHA minimum per-trial work r")
+		maxIters  = flag.Int("max-iters", 50, "SHA maximum cumulative work R")
+		eta       = flag.Int("eta", 3, "SHA termination rate η")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		profile   = flag.Bool("profile", false, "plan from a measured scaling profile (instrumentation step)")
+		tracePath = flag.String("trace", "", "write the execution event trace as CSV to this path")
+		cfgPath   = flag.String("config", "", "load the experiment from a JSON file (overrides the other job flags)")
+		ganttPath = flag.String("gantt", "", "write per-trial activity spans as CSV to this path (for Gantt plots)")
+		planStr   = flag.String("plan", "", "execute this explicit per-stage GPU allocation (e.g. \"16,10,12,4\") instead of planning")
+		jsonOut   = flag.Bool("json", false, "emit the run result as JSON instead of text")
+	)
+	flag.Parse()
+
+	var exp *core.Experiment
+	if *cfgPath != "" {
+		var err error
+		exp, err = config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		m, err := model.ByName(*modelName)
+		if err != nil {
+			fatal(err)
+		}
+		var policy core.Policy
+		switch *policyStr {
+		case "rubberband":
+			policy = core.PolicyRubberBand
+		case "static":
+			policy = core.PolicyStatic
+		case "naive":
+			policy = core.PolicyNaiveElastic
+		default:
+			fatal(fmt.Errorf("unknown policy %q", *policyStr))
+		}
+		space := searchspace.DefaultVisionSpace()
+		if m.Name == "bert" {
+			space = searchspace.DefaultNLPSpace()
+		}
+		sha, err := spec.SHA(spec.SHAParams{N: *trials, R: *minIters, MaxR: *maxIters, Eta: *eta})
+		if err != nil {
+			fatal(err)
+		}
+		exp = &core.Experiment{
+			Model:          m,
+			Space:          space,
+			Spec:           sha,
+			Deadline:       *deadline,
+			Policy:         policy,
+			Seed:           *seed,
+			UseProfiler:    *profile,
+			RestoreSeconds: 2,
+		}
+	}
+
+	rec := trace.New()
+	exp.Trace = rec
+
+	if !*jsonOut {
+		fmt.Printf("job: %s on %s, spec %v, deadline %v, policy %v\n",
+			exp.Model.Name, exp.Model.Dataset.Name, exp.Spec, exp.Deadline, exp.Policy)
+	}
+
+	var res *core.Result
+	if *planStr != "" {
+		// Execute a user-supplied plan without invoking the planner.
+		plan, err := sim.ParsePlan(*planStr)
+		if err != nil {
+			fatal(err)
+		}
+		actual, err := exp.Execute(plan)
+		if err != nil {
+			fatal(err)
+		}
+		res = &core.Result{Policy: exp.Policy, Plan: plan, Actual: actual}
+	} else {
+		var err error
+		res, err = exp.Run()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResult(res)); err != nil {
+			fatal(err)
+		}
+	} else {
+		printText(res)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace: %d events written to %s\n", len(rec.Events()), *tracePath)
+	}
+	if *ganttPath != "" {
+		f, err := os.Create(*ganttPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		spans := trace.TrialSpans(rec.Events())
+		if err := trace.WriteGanttCSV(f, spans); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gantt: %d spans written to %s\n", len(spans), *ganttPath)
+	}
+}
+
+// printText writes the human-readable result.
+func printText(res *core.Result) {
+	if res.ProfilingDuration > 0 {
+		fmt.Printf("profiling: %.0fs of instrumentation\n", res.ProfilingDuration)
+	}
+	fmt.Printf("plan: %v GPUs per stage\n", res.Plan)
+	if res.Predicted.JCT > 0 {
+		fmt.Printf("predicted: JCT %.0fs, cost $%.2f\n", res.Predicted.JCT, res.Predicted.Cost)
+	}
+	fmt.Printf("realized:  JCT %.0fs, cost $%.2f, utilization %.0f%%\n",
+		res.Actual.JCT, res.Actual.Cost, res.Actual.Utilization*100)
+	if res.Actual.Preemptions > 0 {
+		fmt.Printf("preemptions survived: %d\n", res.Actual.Preemptions)
+	}
+	fmt.Printf("winner: trial %d, accuracy %.1f%%, config %v\n",
+		res.Actual.BestTrial, res.Actual.BestAccuracy*100, res.Actual.BestConfig)
+	fmt.Println("\nrealized schedule:")
+	fmt.Printf("%-12s %-7s %-11s %-7s %s\n", "iter range", "trials", "GPUs/trial", "nodes", "cost ($)")
+	for _, row := range res.Actual.Schedule {
+		fmt.Printf("%-12s %-7d %-11d %-7d %.2f\n",
+			fmt.Sprintf("%d-%d", row.IterStart, row.IterEnd),
+			row.Trials, row.GPUsPerTrial, row.ClusterNodes, row.Cost)
+	}
+}
+
+// jsonResult shapes the result for machine consumption.
+func jsonResult(res *core.Result) map[string]any {
+	stages := make([]map[string]any, 0, len(res.Actual.Schedule))
+	for _, row := range res.Actual.Schedule {
+		stages = append(stages, map[string]any{
+			"iter_start": row.IterStart, "iter_end": row.IterEnd,
+			"trials": row.Trials, "gpus_per_trial": row.GPUsPerTrial,
+			"nodes": row.ClusterNodes, "cost": row.Cost,
+		})
+	}
+	return map[string]any{
+		"policy":         res.Policy.String(),
+		"plan":           res.Plan.Alloc,
+		"predicted_jct":  res.Predicted.JCT,
+		"predicted_cost": res.Predicted.Cost,
+		"jct":            res.Actual.JCT,
+		"cost":           res.Actual.Cost,
+		"utilization":    res.Actual.Utilization,
+		"preemptions":    res.Actual.Preemptions,
+		"best_trial":     res.Actual.BestTrial,
+		"best_accuracy":  res.Actual.BestAccuracy,
+		"best_config":    res.Actual.BestConfig,
+		"schedule":       stages,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rubberband:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// cifar_resnet101 reproduces the paper's end-to-end comparison (§6.3.1,
+// Table 2) at one deadline: tuning ResNet-101 on CIFAR-10 under a
+// 20-minute constraint with the static, naive-elastic and RubberBand
+// policies, reporting simulated and realized JCT/cost for each.
+//
+// The expected shape: RubberBand's cost is well below the static
+// baseline's at this tight deadline; the naive elastic policy demands a
+// huge first-stage cluster and still doesn't win.
+//
+//	go run ./examples/cifar_resnet101
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/searchspace"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+func main() {
+	m := model.ResNet101()
+	sha := spec.MustSHA(32, 1, 50, 3)
+
+	// 15-second provisioning from a warm pool, as in the paper's setup.
+	cp := sim.DefaultCloudProfile()
+	cp.DatasetGB = m.Dataset.SizeGB
+	cp.Overheads = cloud.Overheads{
+		QueueDelay:  stats.Deterministic{Value: 5},
+		InitLatency: stats.Deterministic{Value: 15},
+	}
+
+	fmt.Printf("tuning %s on %s, spec %v, deadline 20m\n\n", m.Name, m.Dataset.Name, sha)
+	fmt.Printf("%-14s %-22s %-10s %-11s %-10s %-11s\n",
+		"policy", "plan", "JCT sim", "cost sim", "JCT real", "cost real")
+
+	for _, policy := range []core.Policy{core.PolicyStatic, core.PolicyNaiveElastic, core.PolicyRubberBand} {
+		exp := &core.Experiment{
+			Model:          m,
+			Space:          searchspace.DefaultVisionSpace(),
+			Spec:           sha,
+			Cloud:          cp,
+			Deadline:       20 * time.Minute,
+			Policy:         policy,
+			Seed:           11,
+			MaxGPUs:        128,
+			RestoreSeconds: 2,
+		}
+		pres, _, err := exp.Plan()
+		if err != nil {
+			log.Fatalf("%v: %v", policy, err)
+		}
+		if pres.Plan.Max() > 256 {
+			fmt.Printf("%-14s %-22s (execution skipped: needs %d GPUs)\n",
+				policy, pres.Plan, pres.Plan.Max())
+			continue
+		}
+		actual, err := exp.Execute(pres.Plan)
+		if err != nil {
+			log.Fatalf("%v: %v", policy, err)
+		}
+		fmt.Printf("%-14s %-22s %-10.0f $%-10.2f %-10.0f $%-10.2f\n",
+			policy, pres.Plan, pres.Estimate.JCT, pres.Estimate.Cost, actual.JCT, actual.Cost)
+	}
+}

@@ -1,0 +1,73 @@
+// spot_market explores the paper's deferred future work: running the
+// tuning job on preemptible spot capacity. Spot instances cost ~3x less
+// but are reclaimed at random; RubberBand's checkpoint/restore machinery
+// absorbs the preemptions by replaying only the interrupted stage on
+// automatically provisioned replacements.
+//
+// The example sweeps the preemption intensity and reports realized cost
+// and JCT, showing the trade: cheap capacity vs recovery time — with the
+// crossover point where spot stops paying off.
+//
+//	go run ./examples/spot_market
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/searchspace"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+func main() {
+	sha := spec.MustSHA(16, 1, 30, 3)
+	run := func(market cloud.Market, preemptMean float64) (*core.Result, error) {
+		cp := sim.DefaultCloudProfile()
+		cp.Pricing.Market = market
+		cp.DatasetGB = model.ResNet101().Dataset.SizeGB
+		cp.Overheads = cloud.Overheads{
+			QueueDelay:  stats.Deterministic{Value: 5},
+			InitLatency: stats.Deterministic{Value: 15},
+		}
+		exp := &core.Experiment{
+			Model:          model.ResNet101(),
+			Space:          searchspace.DefaultVisionSpace(),
+			Spec:           sha,
+			Cloud:          cp,
+			Deadline:       25 * time.Minute,
+			Policy:         core.PolicyRubberBand,
+			Seed:           17,
+			RestoreSeconds: 5,
+			Faults:         cloud.FaultModel{PreemptionMeanSeconds: preemptMean},
+		}
+		return exp.Run()
+	}
+
+	onDemand, err := run(cloud.OnDemand, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-26s cost $%5.2f  JCT %4.0fs  preemptions %d\n",
+		"on-demand (baseline)", onDemand.Actual.Cost, onDemand.Actual.JCT, onDemand.Actual.Preemptions)
+
+	for _, mean := range []float64{0, 3600, 1200, 600, 300} {
+		res, err := run(cloud.Spot, mean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "spot, no preemption"
+		if mean > 0 {
+			label = fmt.Sprintf("spot, preempt mean %4.0fs", mean)
+		}
+		fmt.Printf("%-26s cost $%5.2f  JCT %4.0fs  preemptions %d\n",
+			label, res.Actual.Cost, res.Actual.JCT, res.Actual.Preemptions)
+	}
+	fmt.Println("\nspot capacity is ~3x cheaper; preemptions add replayed work and")
+	fmt.Println("restore latency, eroding the discount as reclamation intensifies.")
+}

@@ -1,0 +1,102 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultPricingValid(t *testing.T) {
+	if err := DefaultPricing().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPricingValidateRejects(t *testing.T) {
+	cases := []Pricing{
+		{MinChargeSeconds: -1},
+		{DataPricePerGB: -0.5},
+		{Billing: BillingModel(9)},
+		{Market: Market(9)},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid pricing accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestInstanceCostPerInstance(t *testing.T) {
+	it := InstanceType{Name: "x", GPUs: 4, OnDemandPerHour: 36}
+	p := Pricing{Billing: PerInstance, MinChargeSeconds: 60}
+	// 1 hour lifetime => $36 regardless of usage.
+	if c := p.InstanceCost(it, 3600, 0); math.Abs(c-36) > 1e-9 {
+		t.Errorf("1h cost %v, want 36", c)
+	}
+	// 30 seconds lifetime is billed as the 60-second minimum.
+	if c := p.InstanceCost(it, 30, 0); math.Abs(c-36.0/60) > 1e-9 {
+		t.Errorf("30s cost %v, want %v", c, 36.0/60)
+	}
+}
+
+func TestInstanceCostPerFunction(t *testing.T) {
+	it := InstanceType{Name: "x", GPUs: 4, OnDemandPerHour: 36}
+	p := Pricing{Billing: PerFunction}
+	// 4 GPU-hours of usage = full instance for an hour = $36.
+	if c := p.InstanceCost(it, 999999, 4*3600); math.Abs(c-36) > 1e-9 {
+		t.Errorf("cost %v, want 36", c)
+	}
+	// Idle lifetime is free.
+	if c := p.InstanceCost(it, 3600, 0); c != 0 {
+		t.Errorf("idle cost %v, want 0", c)
+	}
+}
+
+func TestDataIngressCost(t *testing.T) {
+	p := Pricing{DataPricePerGB: 0.01}
+	if c := p.DataIngressCost(150); math.Abs(c-1.5) > 1e-12 {
+		t.Errorf("ImageNet ingress %v, want 1.50", c)
+	}
+}
+
+func TestBillingModelString(t *testing.T) {
+	if PerInstance.String() != "per-instance" || PerFunction.String() != "per-function" {
+		t.Error("billing model names wrong")
+	}
+}
+
+// Property: per-function cost never exceeds per-instance cost when usage
+// cannot exceed capacity (usage <= GPUs * lifetime) and lifetime is above
+// the minimum charge. This is the structural reason Figure 9 shows
+// per-instance >= per-function.
+func TestQuickPerFunctionBounded(t *testing.T) {
+	it := InstanceType{Name: "x", GPUs: 4, OnDemandPerHour: 12}
+	f := func(lifeRaw, usedFracRaw uint16) bool {
+		lifetime := 60 + float64(lifeRaw) // >= minimum charge
+		frac := float64(usedFracRaw) / math.MaxUint16
+		used := frac * float64(it.GPUs) * lifetime
+		perInst := Pricing{Billing: PerInstance, MinChargeSeconds: 60}.InstanceCost(it, lifetime, used)
+		perFn := Pricing{Billing: PerFunction}.InstanceCost(it, lifetime, used)
+		return perFn <= perInst+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: instance cost is monotone in lifetime under per-instance
+// billing.
+func TestQuickPerInstanceMonotone(t *testing.T) {
+	it := InstanceType{Name: "x", GPUs: 8, OnDemandPerHour: 24}
+	p := Pricing{Billing: PerInstance, MinChargeSeconds: 60}
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return p.InstanceCost(it, a, 0) <= p.InstanceCost(it, b, 0)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

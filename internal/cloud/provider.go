@@ -1,0 +1,288 @@
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// Overheads holds the provisioning-latency parameters of §4.1: scaling
+// latency (provider queueing delay between a request and the instance being
+// provisioned) and instance initialization latency (dependency install and
+// cluster join after provisioning).
+type Overheads struct {
+	// QueueDelay is sampled once per provisioning request.
+	QueueDelay stats.Dist
+	// InitLatency is sampled once per instance after provisioning.
+	InitLatency stats.Dist
+}
+
+// DefaultOverheads returns modest cloud overheads: an exponential queueing
+// delay with a 10-second mean and a 15-second deterministic initialization,
+// matching the warm-pool setup of the end-to-end experiments (§6.3).
+func DefaultOverheads() Overheads {
+	return Overheads{
+		QueueDelay:  stats.Exponential{MeanValue: 10},
+		InitLatency: stats.Deterministic{Value: 15},
+	}
+}
+
+// InstanceState tracks an instance through its lifecycle.
+type InstanceState int
+
+const (
+	// Requested means the provisioning request is queued at the provider.
+	Requested InstanceState = iota
+	// Initializing means hardware is allocated and setup scripts run.
+	Initializing
+	// Ready means the instance has joined the cluster and can host work.
+	Ready
+	// Terminated means the instance was released; billing has stopped.
+	Terminated
+	// Failed means the provisioning request could not be served; the
+	// instance never existed and was never billed.
+	Failed
+	// Preempted means the provider reclaimed a running (spot) instance;
+	// billing stopped at the preemption.
+	Preempted
+)
+
+// String returns the state name.
+func (s InstanceState) String() string {
+	switch s {
+	case Requested:
+		return "requested"
+	case Initializing:
+		return "initializing"
+	case Ready:
+		return "ready"
+	case Terminated:
+		return "terminated"
+	case Failed:
+		return "failed"
+	case Preempted:
+		return "preempted"
+	default:
+		return fmt.Sprintf("InstanceState(%d)", int(s))
+	}
+}
+
+// Instance is one provisioned machine. Fields are managed by Provider; the
+// executor reads them but must mutate only through Provider methods.
+type Instance struct {
+	// ID is unique within one Provider, assigned in request order.
+	ID int
+	// Type is the instance's catalog entry.
+	Type InstanceType
+	// State is the current lifecycle state.
+	State InstanceState
+	// RequestedAt, ReadyAt, TerminatedAt are lifecycle timestamps in
+	// virtual time. ReadyAt/TerminatedAt are meaningful only once the
+	// corresponding state has been reached.
+	RequestedAt  vclock.Time
+	ReadyAt      vclock.Time
+	TerminatedAt vclock.Time
+	// GPUSecondsUsed accumulates task-occupied GPU time for per-function
+	// billing; the executor adds to it via Provider.RecordUsage.
+	GPUSecondsUsed float64
+
+	// billStart is the moment hardware was allocated (start of billing),
+	// set by Provider when the instance leaves the Requested state.
+	// billing reports whether that ever happened: a request cancelled
+	// while still queued incurs no charge at all.
+	billStart vclock.Time
+	billing   bool
+}
+
+// BilledLifetime returns the instance's billable wall-clock lifetime at
+// time now. Billing starts when the machine is provisioned (hardware
+// allocated, i.e. Initializing) and ends at termination.
+func (in *Instance) BilledLifetime(now vclock.Time) float64 {
+	if !in.billing {
+		return 0
+	}
+	start := in.startOfBilling()
+	end := now
+	if in.State == Terminated || in.State == Preempted {
+		end = in.TerminatedAt
+	}
+	if end < start {
+		return 0
+	}
+	return float64(end - start)
+}
+
+// startOfBilling is the moment hardware was allocated and billing began.
+func (in *Instance) startOfBilling() vclock.Time { return in.billStart }
+
+// Provider simulates the cloud control plane: it services provisioning
+// requests after a sampled queueing delay, runs initialization, and meters
+// cost. All methods must be called from the vclock event loop goroutine.
+type Provider struct {
+	clock     *vclock.Clock
+	rng       *stats.RNG
+	pricing   Pricing
+	overheads Overheads
+	datasetGB float64
+
+	nextID    int
+	instances map[int]*Instance
+	// dataCost accumulates ingress charges as instances provision.
+	dataCost float64
+
+	// Fault injection (see faults.go).
+	faults      FaultModel
+	onFail      func(*Instance)
+	onPreempt   func(*Instance)
+	failures    int
+	preemptions int
+}
+
+// NewProvider returns a provider bound to the given virtual clock.
+// datasetGB is the training dataset size each instance must ingress once.
+func NewProvider(clock *vclock.Clock, rng *stats.RNG, pricing Pricing, overheads Overheads, datasetGB float64) (*Provider, error) {
+	if err := pricing.Validate(); err != nil {
+		return nil, err
+	}
+	if datasetGB < 0 {
+		return nil, fmt.Errorf("cloud: negative dataset size %v", datasetGB)
+	}
+	if overheads.QueueDelay == nil {
+		overheads.QueueDelay = stats.Deterministic{Value: 0}
+	}
+	if overheads.InitLatency == nil {
+		overheads.InitLatency = stats.Deterministic{Value: 0}
+	}
+	return &Provider{
+		clock:     clock,
+		rng:       rng,
+		pricing:   pricing,
+		overheads: overheads,
+		datasetGB: datasetGB,
+		instances: make(map[int]*Instance),
+	}, nil
+}
+
+// Pricing returns the provider's pricing parameters.
+func (p *Provider) Pricing() Pricing { return p.pricing }
+
+// Overheads returns the provider's latency parameters.
+func (p *Provider) Overheads() Overheads { return p.overheads }
+
+// Request asks for one instance of type it. onReady is invoked (on the
+// vclock loop) when the instance reaches Ready. The returned Instance is in
+// state Requested.
+func (p *Provider) Request(it InstanceType, onReady func(*Instance)) *Instance {
+	in := &Instance{
+		ID:          p.nextID,
+		Type:        it,
+		State:       Requested,
+		RequestedAt: p.clock.Now(),
+	}
+	p.nextID++
+	p.instances[in.ID] = in
+
+	queue := p.overheads.QueueDelay.Sample(p.rng)
+	p.clock.After(queue, func() {
+		if in.State == Terminated {
+			return // cancelled while queued
+		}
+		if p.faults.ProvisionFailureProb > 0 && p.rng.Float64() < p.faults.ProvisionFailureProb {
+			in.State = Failed
+			p.failures++
+			if p.onFail != nil {
+				p.onFail(in)
+			}
+			return
+		}
+		in.State = Initializing
+		in.billStart = p.clock.Now()
+		in.billing = true
+		p.dataCost += p.pricing.DataIngressCost(p.datasetGB)
+		initDelay := p.overheads.InitLatency.Sample(p.rng)
+		p.clock.After(initDelay, func() {
+			if in.State == Terminated {
+				return // cancelled during init
+			}
+			in.State = Ready
+			in.ReadyAt = p.clock.Now()
+			p.armPreemption(in)
+			if onReady != nil {
+				onReady(in)
+			}
+		})
+	})
+	return in
+}
+
+// armPreemption schedules a spot-style reclamation for a Ready instance
+// when the fault model enables it.
+func (p *Provider) armPreemption(in *Instance) {
+	if p.faults.PreemptionMeanSeconds <= 0 {
+		return
+	}
+	delay := stats.Exponential{MeanValue: p.faults.PreemptionMeanSeconds}.Sample(p.rng)
+	p.clock.After(delay, func() {
+		if in.State != Ready {
+			return // already released
+		}
+		in.State = Preempted
+		in.TerminatedAt = p.clock.Now()
+		p.preemptions++
+		if p.onPreempt != nil {
+			p.onPreempt(in)
+		}
+	})
+}
+
+// Terminate releases the instance, stopping its billing clock. Terminating
+// an already-dead instance is a no-op.
+func (p *Provider) Terminate(in *Instance) {
+	if in.State == Terminated || in.State == Preempted || in.State == Failed {
+		return
+	}
+	in.State = Terminated
+	in.TerminatedAt = p.clock.Now()
+}
+
+// RecordUsage adds gpuSeconds of task-occupied GPU time to the instance,
+// feeding the per-function billing meter.
+func (p *Provider) RecordUsage(in *Instance, gpuSeconds float64) {
+	if gpuSeconds < 0 {
+		panic("cloud: negative usage")
+	}
+	in.GPUSecondsUsed += gpuSeconds
+}
+
+// Instances returns all instances ever requested, in ID order.
+func (p *Provider) Instances() []*Instance {
+	out := make([]*Instance, 0, len(p.instances))
+	for id := 0; id < p.nextID; id++ {
+		if in, ok := p.instances[id]; ok {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// ComputeCost returns the total compute charge across all instances as of
+// virtual time now, under the provider's billing model.
+func (p *Provider) ComputeCost(now vclock.Time) float64 {
+	var total float64
+	for _, in := range p.Instances() {
+		if !in.billing {
+			continue // cancelled while queued: hardware never allocated
+		}
+		total += p.pricing.InstanceCost(in.Type, in.BilledLifetime(now), in.GPUSecondsUsed)
+	}
+	return total
+}
+
+// DataCost returns the accumulated data-ingress charge.
+func (p *Provider) DataCost() float64 { return p.dataCost }
+
+// TotalCost returns compute plus data cost as of now.
+func (p *Provider) TotalCost(now vclock.Time) float64 {
+	return p.ComputeCost(now) + p.dataCost
+}

@@ -1,0 +1,201 @@
+// Package cluster implements RubberBand's cluster manager (§5): it sits
+// between the executor and the cloud provider, servicing ad-hoc requests to
+// scale the worker pool up or down, tracking node lifecycle, and exposing
+// the node inventory that the placement controller packs trials onto.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/vclock"
+)
+
+// NodeID identifies a worker node within one Manager.
+type NodeID int
+
+// Node is one ready worker instance in the cluster.
+type Node struct {
+	// ID is the manager-scoped node identifier.
+	ID NodeID
+	// Instance is the underlying provider instance.
+	Instance *cloud.Instance
+	// GPUs is the node's accelerator count.
+	GPUs int
+}
+
+// Manager elastically manages a homogeneous pool of worker nodes. All
+// methods must be called from the vclock event-loop goroutine.
+type Manager struct {
+	provider *cloud.Provider
+	instType cloud.InstanceType
+	clock    *vclock.Clock
+
+	nextID  NodeID
+	ready   map[NodeID]*Node
+	pending int
+	target  int // desired ready-node count; reconcile provisions up to it
+	// waiters are WhenSize callbacks fired as nodes become ready.
+	waiters []waiter
+	// byInstance maps provider instance IDs to ready nodes, for
+	// preemption routing.
+	byInstance map[int]*Node
+	// onPreempt is the executor's preemption handler (may be nil).
+	onPreempt func(*Node)
+	// retries counts provisioning requests reissued after failures.
+	retries int
+}
+
+type waiter struct {
+	target int
+	fn     func()
+}
+
+// NewManager returns a manager provisioning workers of type it from the
+// provider.
+func NewManager(provider *cloud.Provider, it cloud.InstanceType, clock *vclock.Clock) (*Manager, error) {
+	if provider == nil || clock == nil {
+		return nil, fmt.Errorf("cluster: nil provider or clock")
+	}
+	if it.GPUs < 1 {
+		return nil, fmt.Errorf("cluster: worker type %q has no GPUs", it.Name)
+	}
+	m := &Manager{
+		provider:   provider,
+		instType:   it,
+		clock:      clock,
+		ready:      make(map[NodeID]*Node),
+		byInstance: make(map[int]*Node),
+	}
+	// Heal capacity automatically: failed requests are reissued so that
+	// the ready count still converges on the target, and preemptions are
+	// both replaced and surfaced to the scheduler for trial recovery.
+	provider.OnProvisionFailure(func(*cloud.Instance) {
+		m.pending--
+		m.retries++
+		m.reconcile()
+	})
+	provider.OnPreemption(func(in *cloud.Instance) {
+		node, ok := m.byInstance[in.ID]
+		if !ok {
+			return // not one of ours, or already released
+		}
+		delete(m.ready, node.ID)
+		delete(m.byInstance, in.ID)
+		m.reconcile()
+		if m.onPreempt != nil {
+			m.onPreempt(node)
+		}
+	})
+	return m, nil
+}
+
+// SetPreemptionHandler registers fn to be invoked when a ready node is
+// preempted (after the node has been removed from the pool and a
+// replacement requested).
+func (m *Manager) SetPreemptionHandler(fn func(*Node)) { m.onPreempt = fn }
+
+// Retries returns the number of provisioning requests reissued after
+// failures.
+func (m *Manager) Retries() int { return m.retries }
+
+// GPUsPerNode returns the accelerator count of the worker instance type.
+func (m *Manager) GPUsPerNode() int { return m.instType.GPUs }
+
+// Size returns the number of ready nodes.
+func (m *Manager) Size() int { return len(m.ready) }
+
+// Pending returns the number of nodes requested but not yet ready.
+func (m *Manager) Pending() int { return m.pending }
+
+// Nodes returns the ready nodes sorted by ID.
+func (m *Manager) Nodes() []*Node {
+	out := make([]*Node, 0, len(m.ready))
+	for _, n := range m.ready {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ScaleUpTo raises the desired ready-node count to target (it never
+// lowers it) and requests instances to cover the gap. It returns the
+// number of new instances requested. Scale-down is explicit via Release
+// so that the placement controller chooses which nodes to drain (§4.4).
+func (m *Manager) ScaleUpTo(target int) int {
+	if target > m.target {
+		m.target = target
+	}
+	return m.reconcile()
+}
+
+// reconcile issues provisioning requests until ready+pending covers the
+// target.
+func (m *Manager) reconcile() int {
+	requested := 0
+	for len(m.ready)+m.pending < m.target {
+		m.pending++
+		requested++
+		m.provider.Request(m.instType, func(in *cloud.Instance) {
+			m.pending--
+			node := &Node{ID: m.nextID, Instance: in, GPUs: in.Type.GPUs}
+			m.nextID++
+			m.ready[node.ID] = node
+			m.byInstance[in.ID] = node
+			m.notify()
+		})
+	}
+	return requested
+}
+
+// Release deprovisions a ready node, stopping its billing and lowering
+// the desired capacity accordingly. Releasing an unknown node is an
+// error.
+func (m *Manager) Release(id NodeID) error {
+	node, ok := m.ready[id]
+	if !ok {
+		return fmt.Errorf("cluster: release of unknown node %d", id)
+	}
+	delete(m.ready, id)
+	delete(m.byInstance, node.Instance.ID)
+	m.provider.Terminate(node.Instance)
+	if m.target > len(m.ready)+m.pending {
+		m.target = len(m.ready) + m.pending
+	}
+	return nil
+}
+
+// ReleaseAll deprovisions every ready node (end of experiment).
+func (m *Manager) ReleaseAll() {
+	for id := range m.ready {
+		// Error impossible: id comes from the map itself.
+		_ = m.Release(id)
+	}
+}
+
+// WhenSize schedules fn to run as soon as the ready-node count reaches at
+// least target (as a deferred event if it already has, keeping callback
+// ordering uniform).
+func (m *Manager) WhenSize(target int, fn func()) {
+	if len(m.ready) >= target {
+		m.clock.After(0, fn)
+		return
+	}
+	m.waiters = append(m.waiters, waiter{target: target, fn: fn})
+}
+
+// notify fires waiters whose size condition is now satisfied.
+func (m *Manager) notify() {
+	var kept []waiter
+	fired := m.waiters
+	m.waiters = nil
+	for _, w := range fired {
+		if len(m.ready) >= w.target {
+			w.fn()
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	m.waiters = append(kept, m.waiters...)
+}

@@ -1,0 +1,292 @@
+// Package config loads experiment definitions from JSON, standing in for
+// the cluster configuration file RubberBand's cluster manager consumes
+// (§5: instance types, images and initialization scripts) extended with
+// the full experiment: model, search algorithm parameters, deadline,
+// policy and cloud profile.
+//
+// A minimal file:
+//
+//	{
+//	  "model": "resnet101",
+//	  "deadline": "20m",
+//	  "sha": {"n": 32, "r": 1, "max_r": 50, "eta": 3}
+//	}
+//
+// Everything else defaults sensibly (RubberBand policy, p3.8xlarge
+// on-demand workers, the paper's provisioning overheads).
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/searchspace"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	// Model names a zoo model: resnet50, resnet101, resnet152, bert.
+	Model string `json:"model"`
+	// Batch overrides the model's base batch size (0 = default).
+	Batch int `json:"batch,omitempty"`
+	// Deadline is a Go duration string, e.g. "20m".
+	Deadline string `json:"deadline"`
+	// Policy is "rubberband" (default), "static" or "naive".
+	Policy string `json:"policy,omitempty"`
+	// SHA gives the Successive Halving parameters.
+	SHA SHASpec `json:"sha"`
+	// Cloud overrides the provider profile.
+	Cloud *CloudSpec `json:"cloud,omitempty"`
+	// Seed, Samples, MaxGPUs mirror core.Experiment.
+	Seed    uint64 `json:"seed,omitempty"`
+	Samples int    `json:"samples,omitempty"`
+	MaxGPUs int    `json:"max_gpus,omitempty"`
+	// UseProfiler plans from measured scaling instead of ground truth.
+	UseProfiler bool `json:"use_profiler,omitempty"`
+	// RestoreSeconds is the checkpoint-restore latency per migration.
+	RestoreSeconds float64 `json:"restore_seconds,omitempty"`
+}
+
+// SHASpec holds SHA(n, r, R, η).
+type SHASpec struct {
+	N    int `json:"n"`
+	R    int `json:"r"`
+	MaxR int `json:"max_r"`
+	Eta  int `json:"eta"`
+}
+
+// CloudSpec overrides the provider profile.
+type CloudSpec struct {
+	// Instance is a catalog name, e.g. "p3.8xlarge".
+	Instance string `json:"instance,omitempty"`
+	// Billing is "per-instance" (default) or "per-function".
+	Billing string `json:"billing,omitempty"`
+	// Market is "on-demand" (default) or "spot".
+	Market string `json:"market,omitempty"`
+	// MinChargeSeconds is the per-instance billing minimum (default 60).
+	MinChargeSeconds *float64 `json:"min_charge_seconds,omitempty"`
+	// DataPricePerGB is the ingress price.
+	DataPricePerGB float64 `json:"data_price_per_gb,omitempty"`
+	// DatasetGB overrides the model's dataset size.
+	DatasetGB *float64 `json:"dataset_gb,omitempty"`
+	// QueueDelay and InitLatency are provisioning overheads.
+	QueueDelay  *DistSpec `json:"queue_delay,omitempty"`
+	InitLatency *DistSpec `json:"init_latency,omitempty"`
+	// Faults enables provider fault injection.
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec mirrors cloud.FaultModel.
+type FaultSpec struct {
+	ProvisionFailureProb  float64 `json:"provision_failure_prob,omitempty"`
+	PreemptionMeanSeconds float64 `json:"preemption_mean_seconds,omitempty"`
+}
+
+// DistSpec describes a latency distribution.
+type DistSpec struct {
+	// Type is "deterministic", "normal", "lognormal", "exponential",
+	// "uniform" or "pareto".
+	Type string `json:"type"`
+	// Value is the deterministic constant.
+	Value float64 `json:"value,omitempty"`
+	// Mean and Std parameterize normal/lognormal/exponential.
+	Mean float64 `json:"mean,omitempty"`
+	Std  float64 `json:"std,omitempty"`
+	// Lo and Hi bound the uniform distribution.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Scale and Alpha parameterize the Pareto distribution.
+	Scale float64 `json:"scale,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// Dist builds the stats.Dist the spec describes.
+func (d DistSpec) Dist() (stats.Dist, error) {
+	switch d.Type {
+	case "deterministic":
+		if d.Value < 0 {
+			return nil, fmt.Errorf("config: negative deterministic value %v", d.Value)
+		}
+		return stats.Deterministic{Value: d.Value}, nil
+	case "normal":
+		if d.Mean < 0 || d.Std < 0 {
+			return nil, fmt.Errorf("config: invalid normal(%v, %v)", d.Mean, d.Std)
+		}
+		return stats.Normal{Mu: d.Mean, Sigma: d.Std}, nil
+	case "lognormal":
+		if d.Mean <= 0 || d.Std < 0 {
+			return nil, fmt.Errorf("config: invalid lognormal(%v, %v)", d.Mean, d.Std)
+		}
+		return stats.LogNormalFromMoments(d.Mean, d.Std), nil
+	case "exponential":
+		if d.Mean <= 0 {
+			return nil, fmt.Errorf("config: invalid exponential mean %v", d.Mean)
+		}
+		return stats.Exponential{MeanValue: d.Mean}, nil
+	case "uniform":
+		if d.Hi < d.Lo || d.Lo < 0 {
+			return nil, fmt.Errorf("config: invalid uniform[%v, %v)", d.Lo, d.Hi)
+		}
+		return stats.Uniform{Lo: d.Lo, Hi: d.Hi}, nil
+	case "pareto":
+		p, err := stats.NewPareto(d.Scale, d.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("config: unknown distribution type %q", d.Type)
+	}
+}
+
+// Parse decodes and validates a JSON document into a ready-to-run
+// experiment (including any requested fault injection).
+func Parse(data []byte) (*core.Experiment, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return f.Build()
+}
+
+// Load reads and parses a JSON file.
+func Load(path string) (*core.Experiment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Build materializes the experiment.
+func (f File) Build() (*core.Experiment, error) {
+	var faults cloud.FaultModel
+	if f.Model == "" {
+		return nil, fmt.Errorf("config: missing model")
+	}
+	m, err := model.ByName(f.Model)
+	if err != nil {
+		return nil, err
+	}
+	if f.Deadline == "" {
+		return nil, fmt.Errorf("config: missing deadline")
+	}
+	deadline, err := time.ParseDuration(f.Deadline)
+	if err != nil {
+		return nil, fmt.Errorf("config: deadline: %w", err)
+	}
+	sha, err := spec.SHA(spec.SHAParams{N: f.SHA.N, R: f.SHA.R, MaxR: f.SHA.MaxR, Eta: f.SHA.Eta})
+	if err != nil {
+		return nil, err
+	}
+	var policy core.Policy
+	switch f.Policy {
+	case "", "rubberband":
+		policy = core.PolicyRubberBand
+	case "static":
+		policy = core.PolicyStatic
+	case "naive":
+		policy = core.PolicyNaiveElastic
+	default:
+		return nil, fmt.Errorf("config: unknown policy %q", f.Policy)
+	}
+	space := searchspace.DefaultVisionSpace()
+	if m.Name == "bert" {
+		space = searchspace.DefaultNLPSpace()
+	}
+
+	cp := sim.DefaultCloudProfile()
+	cp.DatasetGB = m.Dataset.SizeGB
+	if f.Cloud != nil {
+		if cp, err = f.Cloud.apply(cp); err != nil {
+			return nil, err
+		}
+		if f.Cloud.Faults != nil {
+			faults = cloud.FaultModel{
+				ProvisionFailureProb:  f.Cloud.Faults.ProvisionFailureProb,
+				PreemptionMeanSeconds: f.Cloud.Faults.PreemptionMeanSeconds,
+			}
+			if err := faults.Validate(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return &core.Experiment{
+		Model:          m,
+		Batch:          f.Batch,
+		Space:          space,
+		Spec:           sha,
+		Cloud:          cp,
+		Deadline:       deadline,
+		Policy:         policy,
+		Seed:           f.Seed,
+		Samples:        f.Samples,
+		MaxGPUs:        f.MaxGPUs,
+		UseProfiler:    f.UseProfiler,
+		RestoreSeconds: f.RestoreSeconds,
+		Faults:         faults,
+	}, nil
+}
+
+// apply overlays the spec onto a base profile.
+func (c CloudSpec) apply(cp sim.CloudProfile) (sim.CloudProfile, error) {
+	if c.Instance != "" {
+		it, err := cloud.DefaultCatalog().Lookup(c.Instance)
+		if err != nil {
+			return cp, err
+		}
+		cp.Instance = it
+	}
+	switch c.Billing {
+	case "":
+	case "per-instance":
+		cp.Pricing.Billing = cloud.PerInstance
+	case "per-function":
+		cp.Pricing.Billing = cloud.PerFunction
+	default:
+		return cp, fmt.Errorf("config: unknown billing %q", c.Billing)
+	}
+	switch c.Market {
+	case "":
+	case "on-demand":
+		cp.Pricing.Market = cloud.OnDemand
+	case "spot":
+		cp.Pricing.Market = cloud.Spot
+	default:
+		return cp, fmt.Errorf("config: unknown market %q", c.Market)
+	}
+	if c.MinChargeSeconds != nil {
+		cp.Pricing.MinChargeSeconds = *c.MinChargeSeconds
+	}
+	cp.Pricing.DataPricePerGB = c.DataPricePerGB
+	if c.DatasetGB != nil {
+		cp.DatasetGB = *c.DatasetGB
+	}
+	if c.QueueDelay != nil {
+		d, err := c.QueueDelay.Dist()
+		if err != nil {
+			return cp, err
+		}
+		cp.Overheads.QueueDelay = d
+	}
+	if c.InitLatency != nil {
+		d, err := c.InitLatency.Dist()
+		if err != nil {
+			return cp, err
+		}
+		cp.Overheads.InitLatency = d
+	}
+	return cp, cp.Validate()
+}

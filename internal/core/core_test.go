@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/searchspace"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// table2Experiment reproduces the §6.3.1 workload at a reduced scale that
+// keeps unit tests fast: ResNet-101/CIFAR-10, SHA(8, 1, 12, 3), 15-second
+// provisioning.
+func table2Experiment(t *testing.T, policy Policy, deadline time.Duration, seed uint64) *Experiment {
+	t.Helper()
+	cp := sim.DefaultCloudProfile()
+	cp.Pricing.MinChargeSeconds = 0
+	cp.Overheads = cloud.Overheads{
+		QueueDelay:  stats.Deterministic{Value: 5},
+		InitLatency: stats.Deterministic{Value: 15},
+	}
+	m := model.ResNet101()
+	cp.DatasetGB = m.Dataset.SizeGB
+	return &Experiment{
+		Model:    m,
+		Space:    searchspace.DefaultVisionSpace(),
+		Spec:     spec.MustSHA(8, 1, 12, 3),
+		Cloud:    cp,
+		Deadline: deadline,
+		Policy:   policy,
+		Seed:     seed,
+		Samples:  5,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := table2Experiment(t, PolicyRubberBand, 20*time.Minute, 1)
+	e.Model = nil
+	if _, _, err := e.Plan(); err == nil {
+		t.Error("nil model accepted")
+	}
+	e = table2Experiment(t, PolicyRubberBand, 0, 1)
+	if _, _, err := e.Plan(); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	e = table2Experiment(t, Policy(42), 20*time.Minute, 1)
+	if _, _, err := e.Plan(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyRubberBand.String() != "RubberBand" ||
+		PolicyStatic.String() != "Static" ||
+		PolicyNaiveElastic.String() != "Naive elastic" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestPlanPerPolicy(t *testing.T) {
+	for _, policy := range []Policy{PolicyStatic, PolicyNaiveElastic, PolicyRubberBand} {
+		e := table2Experiment(t, policy, 30*time.Minute, 2)
+		res, _, err := e.Plan()
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if err := res.Plan.Validate(e.Spec.NumStages()); err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if res.Estimate.JCT > e.Deadline.Seconds() {
+			t.Errorf("%v plan violates deadline", policy)
+		}
+		if policy == PolicyStatic && !res.Plan.IsStatic() {
+			t.Errorf("static policy produced %v", res.Plan)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	e := table2Experiment(t, PolicyRubberBand, 30*time.Minute, 3)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Actual.JCT <= 0 || res.Actual.Cost <= 0 {
+		t.Fatalf("actual = %+v", res.Actual)
+	}
+	if res.Actual.BestAccuracy < 0.3 {
+		t.Errorf("suspiciously low winner accuracy %v", res.Actual.BestAccuracy)
+	}
+}
+
+// TestSimulationFidelity is the Table 2 "error rate is low" claim: the
+// executor's realized JCT and cost must track the simulator's prediction.
+func TestSimulationFidelity(t *testing.T) {
+	e := table2Experiment(t, PolicyRubberBand, 30*time.Minute, 4)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jctErr := math.Abs(res.Actual.JCT-res.Predicted.JCT) / res.Predicted.JCT
+	costErr := math.Abs(res.Actual.Cost-res.Predicted.Cost) / res.Predicted.Cost
+	if jctErr > 0.15 {
+		t.Errorf("JCT error %.1f%% (sim %v vs real %v)", jctErr*100, res.Predicted.JCT, res.Actual.JCT)
+	}
+	if costErr > 0.20 {
+		t.Errorf("cost error %.1f%% (sim %v vs real %v)", costErr*100, res.Predicted.Cost, res.Actual.Cost)
+	}
+}
+
+func TestRubberBandNoWorseThanStaticRealized(t *testing.T) {
+	for _, deadline := range []time.Duration{6 * time.Minute, 12 * time.Minute} {
+		static, err := table2Experiment(t, PolicyStatic, deadline, 5).Run()
+		if err != nil {
+			t.Fatalf("static @%v: %v", deadline, err)
+		}
+		rb, err := table2Experiment(t, PolicyRubberBand, deadline, 5).Run()
+		if err != nil {
+			t.Fatalf("rubberband @%v: %v", deadline, err)
+		}
+		// Allow a small tolerance for execution noise around equal-cost
+		// plans.
+		if rb.Actual.Cost > static.Actual.Cost*1.05 {
+			t.Errorf("deadline %v: RubberBand $%.2f worse than static $%.2f (plans %v vs %v)",
+				deadline, rb.Actual.Cost, static.Actual.Cost, rb.Plan, static.Plan)
+		}
+	}
+}
+
+func TestUseProfilerPath(t *testing.T) {
+	e := table2Experiment(t, PolicyRubberBand, 30*time.Minute, 6)
+	e.UseProfiler = true
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProfilingDuration <= 0 {
+		t.Error("no profiling time recorded")
+	}
+	if res.Actual.JCT <= 0 {
+		t.Error("no execution")
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	a, err := table2Experiment(t, PolicyRubberBand, 30*time.Minute, 7).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := table2Experiment(t, PolicyRubberBand, 30*time.Minute, 7).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Actual.JCT != b.Actual.JCT || a.Actual.Cost != b.Actual.Cost || !a.Plan.Equal(b.Plan) {
+		t.Fatal("identical seeds produced different runs")
+	}
+	c, err := table2Experiment(t, PolicyRubberBand, 30*time.Minute, 8).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Actual.JCT == c.Actual.JCT && a.Actual.Cost == c.Actual.Cost {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestTraceWiring(t *testing.T) {
+	e := table2Experiment(t, PolicyStatic, 30*time.Minute, 9)
+	rec := trace.New()
+	e.Trace = rec
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(trace.KindStageStart) != e.Spec.NumStages() {
+		t.Errorf("stage starts = %d, want %d", rec.Count(trace.KindStageStart), e.Spec.NumStages())
+	}
+}
+
+func TestBatchDefaultsToModel(t *testing.T) {
+	e := table2Experiment(t, PolicyStatic, 30*time.Minute, 10)
+	e.Batch = 0
+	if e.batch() != e.Model.BaseBatch {
+		t.Fatalf("batch = %d", e.batch())
+	}
+}

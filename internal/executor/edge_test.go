@@ -1,0 +1,215 @@
+package executor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/trial"
+)
+
+func TestSingleTrialJob(t *testing.T) {
+	// Degenerate tournament: one trial, one stage.
+	h := newHarness(t, cloud.PerInstance, 0, 0, 50)
+	s := spec.Empty().AddStage(1, 5)
+	m := quietModel()
+	m.IterNoiseStd = 0
+	res, err := Run(runConfig(t, h, s, sim.NewPlan(4), m, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestTrial != 0 {
+		t.Fatalf("winner = %d", res.BestTrial)
+	}
+	// 5 iterations at 4 co-located GPUs.
+	want := 5 * m.IterLatencyMean(m.BaseBatch, 4, 1)
+	if math.Abs(res.JCT-want) > 1e-9 {
+		t.Fatalf("JCT = %v, want %v", res.JCT, want)
+	}
+}
+
+func TestMultiNodeTrialGang(t *testing.T) {
+	// One trial spanning two 4-GPU nodes: the executor must place an
+	// 8-GPU gang and the realized latency must reflect the 2-node
+	// spread.
+	h := newHarness(t, cloud.PerInstance, 0, 0, 51)
+	s := spec.Empty().AddStage(1, 4)
+	m := quietModel()
+	m.IterNoiseStd = 0
+	res, err := Run(runConfig(t, h, s, sim.NewPlan(8), m, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * m.IterLatencyMean(m.BaseBatch, 8, 2)
+	if math.Abs(res.JCT-want) > 1e-9 {
+		t.Fatalf("JCT = %v, want %v (2-node spread)", res.JCT, want)
+	}
+}
+
+func TestScatterWithQueueing(t *testing.T) {
+	// Scatter mode combined with queued trials: 6 trials on 2 GPU slots.
+	h := newHarness(t, cloud.PerInstance, 0, 0, 52)
+	s := spec.Empty().AddStage(6, 2)
+	m := quietModel()
+	m.IterNoiseStd = 0
+	cfg := runConfig(t, h, s, sim.NewPlan(2), m, 52)
+	cfg.DisablePlacement = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 waves of 2 iterations each at 1 GPU.
+	want := 3 * 2 * m.IterLatencyMean(m.BaseBatch, 1, 1)
+	if math.Abs(res.JCT-want) > 1e-9 {
+		t.Fatalf("JCT = %v, want %v", res.JCT, want)
+	}
+}
+
+func TestAllocLargerThanTrialsTimesNode(t *testing.T) {
+	// A plan granting more GPUs than trials*nodeGPUs forces multi-node
+	// gangs throughout; the run must still complete with a consistent
+	// schedule.
+	h := newHarness(t, cloud.PerInstance, 0, 0, 53)
+	s := spec.Empty().AddStage(2, 3).AddStage(1, 3)
+	res, err := Run(runConfig(t, h, s, sim.NewPlan(16, 8), quietModel(), 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule[0].GPUsPerTrial != 8 || res.Schedule[1].GPUsPerTrial != 8 {
+		t.Fatalf("schedule = %+v", res.Schedule)
+	}
+}
+
+func TestStageCostsSumToTotal(t *testing.T) {
+	h := newHarness(t, cloud.PerInstance, 2, 10, 54)
+	s := spec.MustSHA(8, 2, 16, 2)
+	res, err := Run(runConfig(t, h, s, sim.NewPlan(8, 8, 4, 4), quietModel(), 54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, row := range res.Schedule {
+		if row.Cost < 0 {
+			t.Fatalf("negative stage cost: %+v", row)
+		}
+		sum += row.Cost
+	}
+	if math.Abs(sum-res.Cost) > 1e-9 {
+		t.Fatalf("stage costs %v != total %v", sum, res.Cost)
+	}
+}
+
+func TestUtilizationOrdering(t *testing.T) {
+	// A placement-aware run wastes less than a scattered one, so its
+	// utilization (busy/provisioned GPU time) must be at least as high.
+	s := spec.Empty().AddStage(4, 8)
+	util := func(scatter bool) float64 {
+		h := newHarness(t, cloud.PerInstance, 0, 0, 55)
+		m := quietModel()
+		m.IterNoiseStd = 0
+		cfg := runConfig(t, h, s, sim.NewPlan(16), m, 55)
+		cfg.DisablePlacement = scatter
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Utilization
+	}
+	placed, scattered := util(false), util(true)
+	// Both runs keep GPUs busy the whole stage; but the scattered run's
+	// "busy" time is less productive, not less busy — utilization is
+	// equal here. The meaningful check: both are in (0, 1].
+	for _, u := range []float64{placed, scattered} {
+		if u <= 0 || u > 1 {
+			t.Fatalf("utilization %v out of range", u)
+		}
+	}
+}
+
+func TestTraceRestoreEventsAtMigrations(t *testing.T) {
+	h := newHarness(t, cloud.PerInstance, 0, 0, 56)
+	s := spec.MustSHA(4, 2, 8, 2) // 3 stages: 4 -> 2 -> 1 trials
+	rec := trace.New()
+	cfg := runConfig(t, h, s, sim.Uniform(4, s.NumStages()), quietModel(), 56)
+	cfg.Trace = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Stage 1's two survivors restore, then stage 2's single survivor:
+	// three migrations in total.
+	if got := rec.Count(trace.KindRestore); got != 3 {
+		t.Fatalf("restores = %d, want 3", got)
+	}
+	// Barrier checkpoints: 2 after stage 0, 1 after stage 1.
+	if got := rec.Count(trace.KindCheckpoint); got != 3 {
+		t.Fatalf("barrier checkpoints = %d, want 3", got)
+	}
+}
+
+func TestRankingBreaksTiesDeterministically(t *testing.T) {
+	// With zero metric noise and identical configs, ties at the barrier
+	// break by trial ID — the run must be reproducible.
+	h := newHarness(t, cloud.PerInstance, 0, 0, 57)
+	s := spec.Empty().AddStage(4, 2).AddStage(1, 2)
+	m := quietModel()
+	m.IterNoiseStd = 0
+	m.Curve.NoiseStd = 0
+	cfg := runConfig(t, h, s, sim.NewPlan(4, 4), m, 57)
+	// Force identical configs.
+	for i := range cfg.Configs {
+		cfg.Configs[i] = cfg.Configs[0]
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestTrial != 0 {
+		t.Fatalf("tie broken to trial %d, want 0", res.BestTrial)
+	}
+	for _, tr := range res.Trials[1:] {
+		if tr.State() != trial.Terminated {
+			t.Fatalf("trial %d state %v", tr.ID(), tr.State())
+		}
+	}
+}
+
+func TestPerFunctionUsageExact(t *testing.T) {
+	// Deterministic per-function bill: trials x iters x latency x GPUs.
+	h := newHarness(t, cloud.PerFunction, 0, 0, 58)
+	s := spec.Empty().AddStage(2, 5)
+	m := quietModel()
+	m.IterNoiseStd = 0
+	res, err := Run(runConfig(t, h, s, sim.NewPlan(4), m, 58))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, _ := cloud.DefaultCatalog().Lookup("p3.8xlarge")
+	perIter := m.IterLatencyMean(m.BaseBatch, 2, 1)
+	want := 2 * 5 * perIter * 2 * it.PricePerGPUSecond(cloud.OnDemand)
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Fatalf("per-function cost %v, want %v", res.Cost, want)
+	}
+}
+
+func TestModelScalingAffectsJCTNotStructure(t *testing.T) {
+	// Swapping the model changes latencies but never the tournament
+	// structure.
+	for _, m := range []*model.Model{model.ResNet101(), model.BERT()} {
+		mm := *m
+		mm.IterNoiseStd = 0
+		mm.Curve.NoiseStd = 0.001
+		h := newHarness(t, cloud.PerInstance, 0, 0, 59)
+		s := spec.MustSHA(4, 1, 4, 2)
+		res, err := Run(runConfig(t, h, s, sim.Uniform(4, s.NumStages()), &mm, 59))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if len(res.Schedule) != s.NumStages() {
+			t.Fatalf("%s: schedule rows %d", m.Name, len(res.Schedule))
+		}
+	}
+}

@@ -1,0 +1,728 @@
+// Package executor runs a hyperparameter tuning job end-to-end over the
+// (simulated) cloud: it is RubberBand's driver process (§5), comprising
+// the scheduler control loop that starts, pauses, migrates and terminates
+// trials, coordinates stage synchronization barriers, requests cluster
+// scaling per the allocation plan, and realizes worker placement through
+// the placement controller.
+//
+// The executor is real control-plane code — every scheduling decision
+// path executes — with only training latency and the passage of time
+// simulated (package model, package vclock). Its measured JCT and cost
+// are the "real" columns of the paper's Table 2, which the simulator's
+// predictions are validated against.
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/searchspace"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/trial"
+	"repro/internal/vclock"
+)
+
+// Config parameterizes one end-to-end run.
+type Config struct {
+	// Spec is the declarative experiment structure.
+	Spec *spec.ExperimentSpec
+	// Plan is the per-stage GPU allocation to execute.
+	Plan sim.Plan
+	// Model and Batch define the training workload.
+	Model *model.Model
+	Batch int
+	// Configs are the sampled hyperparameter configurations, one per
+	// initial trial (length must be at least Spec.TotalTrials()).
+	Configs []searchspace.Config
+	// Provider and Cluster are the cloud substrate. Clock is the shared
+	// virtual clock; RNG drives training noise and metric observation.
+	Provider *cloud.Provider
+	Cluster  *cluster.Manager
+	Clock    *vclock.Clock
+	RNG      *stats.RNG
+	// DisablePlacement scatters each trial's workers across the maximum
+	// number of nodes instead of co-locating them — the Table 1 ablation
+	// baseline.
+	DisablePlacement bool
+	// RestoreSeconds is the latency of restoring a checkpoint into a
+	// freshly placed worker gang at stage transitions.
+	RestoreSeconds float64
+	// Trace, if non-nil, records execution events.
+	Trace *trace.Recorder
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Spec == nil:
+		return fmt.Errorf("executor: nil spec")
+	case c.Model == nil:
+		return fmt.Errorf("executor: nil model")
+	case c.Provider == nil || c.Cluster == nil || c.Clock == nil || c.RNG == nil:
+		return fmt.Errorf("executor: nil substrate component")
+	case c.Batch < 1:
+		return fmt.Errorf("executor: batch %d", c.Batch)
+	case c.RestoreSeconds < 0:
+		return fmt.Errorf("executor: negative restore latency")
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := c.Plan.Validate(c.Spec.NumStages()); err != nil {
+		return err
+	}
+	if len(c.Configs) < c.Spec.TotalTrials() {
+		return fmt.Errorf("executor: %d configs for %d trials", len(c.Configs), c.Spec.TotalTrials())
+	}
+	return nil
+}
+
+// StageRow summarizes one executed stage — the rows of Table 3.
+type StageRow struct {
+	Stage        int
+	IterStart    int // cumulative iterations at stage start
+	IterEnd      int // cumulative iterations at stage end
+	Trials       int
+	GPUsPerTrial int
+	ClusterNodes int
+	Start, End   vclock.Time
+	// Cost is the realized billing accrued between the previous barrier
+	// and this stage's barrier (provisioning included).
+	Cost float64
+}
+
+// Result is the outcome of an end-to-end run.
+type Result struct {
+	// JCT is the wall-clock (virtual) job completion time in seconds.
+	JCT float64
+	// Cost is the total billed cost (compute + data ingress).
+	Cost float64
+	// BestTrial and BestAccuracy identify the winning configuration.
+	BestTrial    trial.ID
+	BestAccuracy float64
+	BestConfig   searchspace.Config
+	// Schedule is the realized per-stage schedule.
+	Schedule []StageRow
+	// Utilization is busy GPU-seconds divided by provisioned
+	// GPU-seconds.
+	Utilization float64
+	// Preemptions is the number of cluster nodes lost to spot
+	// reclamation during the run.
+	Preemptions int
+	// Trials exposes the final trial objects for inspection.
+	Trials []*trial.Trial
+}
+
+// run carries the mutable state of one execution.
+type run struct {
+	cfg    Config
+	tr     *trace.Recorder
+	trials []*trial.Trial
+	ctrl   *placement.Controller
+	store  *trial.Store
+
+	stage     int
+	need      int // node target of the current stage
+	allocs    map[placement.TrialID]int
+	plan      placement.Plan
+	nodeByID  map[cluster.NodeID]*cluster.Node
+	remaining int
+	queue     []trial.ID
+	stageSet  []trial.ID // trials participating in the current stage
+	// stageDone marks trials that finished their stage budget and are
+	// idling at the barrier (their work survives preemption).
+	stageDone map[trial.ID]bool
+	// gen invalidates in-flight iteration events when a trial restarts
+	// after a preemption.
+	gen map[trial.ID]int
+	// pendingRestart holds preempted trials (and their per-trial
+	// allocations) awaiting replacement capacity.
+	pendingRestart []restartEntry
+	// preemptions counts nodes lost during the run.
+	preemptions int
+
+	rows []StageRow
+	// costAtLastBarrier tracks cumulative billing for per-stage
+	// attribution.
+	costAtLastBarrier float64
+	done              bool
+	finishedAt        vclock.Time
+	err               error
+}
+
+// restartEntry is one preempted trial queued for recovery.
+type restartEntry struct {
+	id    trial.ID
+	alloc int
+}
+
+// Job is a started execution. Several jobs can share one virtual clock
+// (each with its own cluster manager and provider accounting), enabling
+// concurrent multi-job execution such as Hyperband's bracket collection.
+type Job struct {
+	r *run
+}
+
+// Start validates the configuration and schedules the job's first stage
+// on the virtual clock without driving it. The caller advances the shared
+// clock (typically via Wait or vclock.Clock.RunUntil) until Done.
+func Start(cfg Config) (*Job, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		// Always keep an internal recorder so utilization accounting
+		// works even when the caller doesn't want the event log.
+		tr = trace.New()
+	}
+	r := &run{
+		cfg:       cfg,
+		tr:        tr,
+		ctrl:      placement.NewController(cfg.Cluster.GPUsPerNode()),
+		store:     trial.NewStore(),
+		stageDone: make(map[trial.ID]bool),
+		gen:       make(map[trial.ID]int),
+	}
+	for i := 0; i < cfg.Spec.TotalTrials(); i++ {
+		r.trials = append(r.trials, trial.New(trial.ID(i), cfg.Configs[i]))
+	}
+	cfg.Cluster.SetPreemptionHandler(r.onPreemption)
+	r.startStage(0)
+	return &Job{r: r}, nil
+}
+
+// Done reports whether the job has completed (successfully or not).
+func (j *Job) Done() bool { return j.r.done || j.r.err != nil }
+
+// Result returns the realized result once the job is done.
+func (j *Job) Result() (*Result, error) {
+	if j.r.err != nil {
+		return nil, j.r.err
+	}
+	if !j.r.done {
+		return nil, fmt.Errorf("executor: job still running (stage %d)", j.r.stage)
+	}
+	return j.r.buildResult(), nil
+}
+
+// Run executes the job to completion in virtual time and returns the
+// realized result.
+func Run(cfg Config) (*Result, error) {
+	j, err := Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Clock.RunUntil(j.Done)
+	if !j.Done() {
+		return nil, fmt.Errorf("executor: event queue drained before completion (stage %d)", j.r.stage)
+	}
+	return j.Result()
+}
+
+// fail aborts the run.
+func (r *run) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// survivors returns trials eligible for the given stage: Pending before
+// stage 0, Paused afterwards.
+func (r *run) survivors() []*trial.Trial {
+	var out []*trial.Trial
+	for _, t := range r.trials {
+		if t.State() == trial.Pending || t.State() == trial.Paused {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// startStage scales the cluster for stage i and begins training when the
+// nodes are ready.
+func (r *run) startStage(i int) {
+	r.stage = i
+	st := r.cfg.Spec.Stage(i)
+	alloc := r.cfg.Plan.Alloc[i]
+	gpn := r.cfg.Cluster.GPUsPerNode()
+
+	var need int
+	if alloc >= st.Trials {
+		need = placement.NodesNeeded(st.Trials, alloc/st.Trials, gpn)
+	} else {
+		need = placement.NodesNeeded(alloc, 1, gpn)
+	}
+
+	r.need = need
+	now := r.cfg.Clock.Now()
+	if cur := r.cfg.Cluster.Size(); cur > need {
+		// Bin-pack-then-drain: release the emptiest nodes first. At a
+		// stage boundary all trials are paused (no live placements), so
+		// this releases the newest nodes deterministically.
+		order := r.ctrl.DrainOrder(r.cfg.Cluster.Nodes())
+		for _, id := range order[:cur-need] {
+			if err := r.cfg.Cluster.Release(id); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		r.tr.Record(now, trace.KindScaleDown, i, -1, fmt.Sprintf("to %d nodes", need))
+	} else if cur < need {
+		r.cfg.Cluster.ScaleUpTo(need)
+		r.tr.Record(now, trace.KindScaleUp, i, -1, fmt.Sprintf("to %d nodes", need))
+	}
+	r.cfg.Cluster.WhenSize(need, func() { r.beginTraining() })
+}
+
+// beginTraining places and starts the stage's trials once capacity is
+// ready.
+func (r *run) beginTraining() {
+	if r.err != nil {
+		return
+	}
+	st := r.cfg.Spec.Stage(r.stage)
+	alloc := r.cfg.Plan.Alloc[r.stage]
+	surv := r.survivors()
+	if len(surv) != st.Trials {
+		r.fail(fmt.Errorf("executor: stage %d has %d survivors, spec wants %d", r.stage, len(surv), st.Trials))
+		return
+	}
+
+	nodes := r.cfg.Cluster.Nodes()
+	r.nodeByID = make(map[cluster.NodeID]*cluster.Node, len(nodes))
+	for _, n := range nodes {
+		r.nodeByID[n.ID] = n
+	}
+
+	per := sim.GPUsPerTrial(alloc, st.Trials)
+	runnable := surv
+	r.queue = nil
+	if alloc < st.Trials {
+		runnable = surv[:alloc]
+		for _, t := range surv[alloc:] {
+			r.queue = append(r.queue, t.ID())
+		}
+	}
+
+	r.allocs = make(map[placement.TrialID]int, len(runnable))
+	r.stageSet = nil
+	r.stageDone = make(map[trial.ID]bool)
+	r.pendingRestart = nil
+	for _, t := range surv {
+		r.stageSet = append(r.stageSet, t.ID())
+	}
+	for _, t := range runnable {
+		r.allocs[placement.TrialID(t.ID())] = per
+	}
+
+	if err := r.place(); err != nil {
+		r.fail(err)
+		return
+	}
+
+	r.remaining = st.Trials
+	start := r.cfg.Clock.Now()
+	r.rows = append(r.rows, StageRow{
+		Stage:        r.stage,
+		IterStart:    r.cumItersBefore(r.stage),
+		IterEnd:      r.cumItersBefore(r.stage) + st.Iters,
+		Trials:       st.Trials,
+		GPUsPerTrial: per,
+		ClusterNodes: r.cfg.Cluster.Size(),
+		Start:        start,
+	})
+	r.tr.Record(start, trace.KindStageStart, r.stage, -1,
+		fmt.Sprintf("%d trials x %d iters @ %d GPUs/trial", st.Trials, st.Iters, per))
+
+	for _, t := range runnable {
+		r.startTrial(t, st.Iters, r.stage > 0)
+	}
+}
+
+// cumItersBefore returns the cumulative iterations a survivor has executed
+// before the given stage.
+func (r *run) cumItersBefore(stage int) int {
+	total := 0
+	for i := 0; i < stage; i++ {
+		total += r.cfg.Spec.Stage(i).Iters
+	}
+	return total
+}
+
+// place computes the placement for the current allocs, either through the
+// placement controller (co-locating) or by deliberate scattering (the
+// ablation baseline).
+func (r *run) place() error {
+	if r.cfg.DisablePlacement {
+		r.plan = scatter(r.allocs, r.cfg.Cluster.Nodes())
+		if r.plan == nil {
+			return fmt.Errorf("executor: scatter placement failed")
+		}
+		return nil
+	}
+	plan, err := r.ctrl.Update(r.allocs, r.cfg.Cluster.Nodes())
+	if err != nil {
+		return err
+	}
+	r.plan = plan
+	return nil
+}
+
+// scatter assigns GPUs one at a time to the node with the most free
+// capacity — a worst-fit spread that models a locality-unaware scheduler.
+func scatter(allocs map[placement.TrialID]int, nodes []*cluster.Node) placement.Plan {
+	free := make(map[cluster.NodeID]int, len(nodes))
+	for _, n := range nodes {
+		free[n.ID] = n.GPUs
+	}
+	ids := make([]placement.TrialID, 0, len(allocs))
+	for t := range allocs {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	plan := make(placement.Plan, len(allocs))
+	for _, t := range ids {
+		asg := make(placement.Assignment)
+		for g := 0; g < allocs[t]; g++ {
+			best := cluster.NodeID(-1)
+			bestFree := -1
+			for _, n := range nodes {
+				if free[n.ID] > bestFree {
+					best, bestFree = n.ID, free[n.ID]
+				}
+			}
+			if bestFree < 1 {
+				return nil
+			}
+			free[best]--
+			asg[best]++
+		}
+		plan[t] = asg
+	}
+	return plan
+}
+
+// startTrial starts (or resumes) a trial for the current stage and
+// schedules its iterations. withRestore adds the checkpoint-fetch latency
+// (stage migrations and preemption recoveries).
+func (r *run) startTrial(t *trial.Trial, iters int, withRestore bool) {
+	asg := r.plan[placement.TrialID(t.ID())]
+	gpus, nodes := asg.GPUs(), asg.Nodes()
+	if err := t.Start(gpus, nodes); err != nil {
+		r.fail(err)
+		return
+	}
+	now := r.cfg.Clock.Now()
+	restore := 0.0
+	if withRestore {
+		// Migration or recovery: fetch the checkpoint from the store
+		// into the new worker gang.
+		if _, ok := r.store.Get(t.ID()); !ok {
+			r.fail(fmt.Errorf("executor: trial %d missing checkpoint at stage %d", t.ID(), r.stage))
+			return
+		}
+		restore = r.cfg.RestoreSeconds
+		r.tr.Record(now, trace.KindRestore, r.stage, int(t.ID()), "")
+	}
+	// Persist a stage-start checkpoint so a preemption mid-stage can
+	// recover by replaying only this stage.
+	ck, err := t.Checkpoint()
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	r.store.Put(ck)
+	r.tr.Record(now, trace.KindTrialStart, r.stage, int(t.ID()),
+		fmt.Sprintf("%d GPUs on %d nodes", gpus, nodes))
+	gen := r.gen[t.ID()]
+	r.cfg.Clock.After(restore, func() {
+		if r.gen[t.ID()] != gen {
+			return // preempted before training began
+		}
+		r.runIteration(t, iters)
+	})
+}
+
+// runIteration executes one training iteration of t, then recurses until
+// the stage's iteration budget is spent.
+func (r *run) runIteration(t *trial.Trial, left int) {
+	if r.err != nil {
+		return
+	}
+	asg := r.plan[placement.TrialID(t.ID())]
+	gpus, spread := asg.GPUs(), asg.Nodes()
+	dur := r.cfg.Model.IterLatencyDist(r.cfg.Batch, gpus, spread).Sample(r.cfg.RNG)
+	gen := r.gen[t.ID()]
+	r.cfg.Clock.After(dur, func() {
+		if r.err != nil {
+			return
+		}
+		if r.gen[t.ID()] != gen {
+			return // stale: the trial restarted after a preemption
+		}
+		// Meter usage for per-function billing and utilization.
+		for nid, g := range asg {
+			node := r.nodeByID[nid]
+			if node == nil {
+				r.fail(fmt.Errorf("executor: trial %d placed on missing node %d", t.ID(), nid))
+				return
+			}
+			r.cfg.Provider.RecordUsage(node.Instance, float64(g)*dur)
+		}
+		r.tr.AddBusy(float64(gpus) * dur)
+
+		acc := r.cfg.Model.ObserveAccuracy(t.Config(), t.CumIters()+1, r.cfg.RNG)
+		now := r.cfg.Clock.Now()
+		if err := t.RecordIteration(acc, now); err != nil {
+			r.fail(err)
+			return
+		}
+		r.tr.Record(now, trace.KindTrialIter, r.stage, int(t.ID()),
+			fmt.Sprintf("acc=%.4f", acc))
+		if left > 1 {
+			r.runIteration(t, left-1)
+			return
+		}
+		r.trialStageDone(t)
+	})
+}
+
+// trialStageDone handles a trial finishing its stage budget: hand its slot
+// to a queued trial if any, otherwise wait for the synchronization
+// barrier.
+func (r *run) trialStageDone(t *trial.Trial) {
+	now := r.cfg.Clock.Now()
+	r.tr.Record(now, trace.KindTrialDone, r.stage, int(t.ID()), "")
+	r.remaining--
+	r.stageDone[t.ID()] = true
+
+	if len(r.queue) > 0 {
+		// Reassign the freed slot to the next queued trial.
+		nextID := r.queue[0]
+		r.queue = r.queue[1:]
+		per := r.allocs[placement.TrialID(t.ID())]
+		delete(r.allocs, placement.TrialID(t.ID()))
+		r.ctrl.Remove(placement.TrialID(t.ID()))
+		r.allocs[placement.TrialID(nextID)] = per
+		if err := r.place(); err != nil {
+			r.fail(err)
+			return
+		}
+		var next *trial.Trial
+		for _, cand := range r.trials {
+			if cand.ID() == nextID {
+				next = cand
+			}
+		}
+		r.startTrial(next, r.cfg.Spec.Stage(r.stage).Iters, r.stage > 0)
+	}
+
+	if r.remaining == 0 {
+		r.syncBarrier()
+	}
+}
+
+// onPreemption recovers from the loss of a ready node: trials whose gangs
+// touched it are rolled back to their stage-start checkpoints and
+// restarted once the cluster manager's automatic replacement is ready.
+// Trials that had already finished the stage keep their results — only
+// idle workers were lost.
+func (r *run) onPreemption(node *cluster.Node) {
+	if r.err != nil || r.done {
+		return
+	}
+	r.preemptions++
+	now := r.cfg.Clock.Now()
+	r.tr.Record(now, trace.KindScaleDown, r.stage, -1,
+		fmt.Sprintf("node %d preempted", node.ID))
+
+	var affected []trial.ID
+	for pid, asg := range r.plan {
+		if _, hit := asg[node.ID]; !hit {
+			continue
+		}
+		id := trial.ID(pid)
+		if r.stageDone[id] {
+			continue // finished this stage; nothing running was lost
+		}
+		if r.trials[int(id)].State() == trial.Running {
+			affected = append(affected, id)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+
+	for _, id := range affected {
+		t := r.trials[int(id)]
+		r.gen[id]++ // invalidate in-flight iteration events
+		if err := t.Preempt(); err != nil {
+			r.fail(err)
+			return
+		}
+		ck, ok := r.store.Get(id)
+		if !ok {
+			r.fail(fmt.Errorf("executor: preempted trial %d has no checkpoint", id))
+			return
+		}
+		if err := t.Restore(ck); err != nil {
+			r.fail(err)
+			return
+		}
+		r.pendingRestart = append(r.pendingRestart, restartEntry{
+			id:    id,
+			alloc: r.allocs[placement.TrialID(id)],
+		})
+		delete(r.allocs, placement.TrialID(id))
+		r.ctrl.Remove(placement.TrialID(id))
+		r.tr.Record(now, trace.KindTrialPause, r.stage, int(id), "preempted; will restart stage")
+	}
+	if len(affected) == 0 {
+		return
+	}
+	// The cluster manager has already requested a replacement node;
+	// restart the affected trials when capacity is back.
+	r.cfg.Cluster.WhenSize(r.need, func() { r.recoverPreempted() })
+}
+
+// recoverPreempted re-places and restarts every trial queued by
+// onPreemption.
+func (r *run) recoverPreempted() {
+	if r.err != nil || r.done || len(r.pendingRestart) == 0 {
+		return
+	}
+	pending := r.pendingRestart
+	r.pendingRestart = nil
+
+	nodes := r.cfg.Cluster.Nodes()
+	r.nodeByID = make(map[cluster.NodeID]*cluster.Node, len(nodes))
+	for _, n := range nodes {
+		r.nodeByID[n.ID] = n
+	}
+	for _, e := range pending {
+		r.allocs[placement.TrialID(e.id)] = e.alloc
+	}
+	if err := r.place(); err != nil {
+		r.fail(err)
+		return
+	}
+	iters := r.cfg.Spec.Stage(r.stage).Iters
+	for _, e := range pending {
+		r.startTrial(r.trials[int(e.id)], iters, true)
+	}
+}
+
+// syncBarrier implements the SYNC node: rank the stage's trials, promote
+// the top performers, terminate the rest, then either advance to the next
+// stage or finish.
+func (r *run) syncBarrier() {
+	now := r.cfg.Clock.Now()
+	st := r.cfg.Spec.Stage(r.stage)
+	r.rows[len(r.rows)-1].End = now
+	cum := r.cfg.Provider.TotalCost(now)
+	r.rows[len(r.rows)-1].Cost = cum - r.costAtLastBarrier
+	r.costAtLastBarrier = cum
+	r.tr.Record(now, trace.KindStageEnd, r.stage, -1, "")
+
+	// Rank this stage's participants by their latest observed accuracy.
+	ranked := make([]*trial.Trial, 0, st.Trials)
+	for _, id := range r.stageSet {
+		ranked = append(ranked, r.trials[int(id)])
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		ai, _ := ranked[i].LatestAccuracy()
+		aj, _ := ranked[j].LatestAccuracy()
+		if ai != aj {
+			return ai > aj
+		}
+		return ranked[i].ID() < ranked[j].ID()
+	})
+
+	last := r.stage == r.cfg.Spec.NumStages()-1
+	keep := 0
+	if !last {
+		keep = r.cfg.Spec.Stage(r.stage + 1).Trials
+	}
+
+	for idx, t := range ranked {
+		pid := placement.TrialID(t.ID())
+		if !last && idx < keep {
+			ck, err := t.Checkpoint()
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			r.store.Put(ck)
+			r.tr.Record(now, trace.KindCheckpoint, r.stage, int(t.ID()), "")
+			if err := t.Pause(); err != nil {
+				r.fail(err)
+				return
+			}
+		} else if last && idx == 0 {
+			if err := t.Complete(); err != nil {
+				r.fail(err)
+				return
+			}
+		} else {
+			if err := t.Terminate(); err != nil {
+				r.fail(err)
+				return
+			}
+			r.store.Delete(t.ID())
+			r.tr.Record(now, trace.KindTrialKill, r.stage, int(t.ID()), "")
+		}
+		r.ctrl.Remove(pid)
+	}
+	r.allocs = nil
+
+	if last {
+		r.finish()
+		return
+	}
+	r.startStage(r.stage + 1)
+}
+
+// finish releases the cluster and marks completion.
+func (r *run) finish() {
+	r.cfg.Cluster.ReleaseAll()
+	r.done = true
+	r.finishedAt = r.cfg.Clock.Now()
+}
+
+// buildResult assembles the Result after completion. Times are taken at
+// the job's own finish instant so that jobs sharing a clock with others
+// (multi-job execution) report their individual JCT.
+func (r *run) buildResult() *Result {
+	now := r.finishedAt
+	res := &Result{
+		JCT:         float64(now),
+		Cost:        r.cfg.Provider.TotalCost(now),
+		Schedule:    append([]StageRow(nil), r.rows...),
+		Preemptions: r.preemptions,
+		Trials:      r.trials,
+	}
+	res.BestTrial = -1
+	for _, t := range r.trials {
+		if t.State() != trial.Completed {
+			continue
+		}
+		if acc, ok := t.LatestAccuracy(); ok && (res.BestTrial < 0 || acc > res.BestAccuracy) {
+			res.BestTrial = t.ID()
+			res.BestAccuracy = acc
+			res.BestConfig = t.Config()
+		}
+	}
+	provisioned := 0.0
+	for _, in := range r.cfg.Provider.Instances() {
+		provisioned += in.BilledLifetime(now) * float64(in.Type.GPUs)
+	}
+	if provisioned > 0 {
+		res.Utilization = r.tr.BusyGPUSeconds() / provisioned
+	}
+	return res
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Fig4Result holds the normalized-throughput scaling curves of Figure 4.
+// Expected shape: all models sub-linear, BERT worst (communication-bound
+// fine-tuning), throughput still monotonically increasing.
+type Fig4Result struct {
+	GPUs []int
+	// Throughput[model][i] is speedup relative to 1 GPU at GPUs[i],
+	// with workers co-located on the minimal node set of 8-GPU machines.
+	Throughput map[string][]float64
+	Models     []string
+}
+
+// Fig4 computes the scaling curves for every zoo model.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	cfg = cfg.withDefaults()
+	gpus := []int{1, 2, 4, 8, 16}
+	if cfg.Fast {
+		gpus = []int{1, 2, 4}
+	}
+	res := &Fig4Result{GPUs: gpus, Throughput: make(map[string][]float64)}
+	const gpn = 8 // p3.16xlarge nodes
+	for _, m := range model.Zoo() {
+		curve := make([]float64, len(gpus))
+		for i, g := range gpus {
+			curve[i] = m.Scaling.Speedup(g, model.MinNodes(g, gpn))
+		}
+		res.Models = append(res.Models, m.Name)
+		res.Throughput[m.Name] = curve
+	}
+	return res, nil
+}
+
+// String renders the curves as a table of normalized throughput.
+func (r *Fig4Result) render() *table {
+	t := &table{title: "Figure 4: normalized training throughput vs #GPUs (1 GPU = 1.0)"}
+	t.header = []string{"model"}
+	for _, g := range r.GPUs {
+		t.header = append(t.header, fmt.Sprintf("%dxGPU", g))
+	}
+	for _, name := range r.Models {
+		row := []string{name}
+		for _, v := range r.Throughput[name] {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		t.add(row...)
+	}
+	return t
+}
+
+// String renders the result as an aligned text table.
+func (r *Fig4Result) String() string { return r.render().String() }
+
+// CSV renders the result as comma-separated values.
+func (r *Fig4Result) CSV() string { return r.render().CSV() }

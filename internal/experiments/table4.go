@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/searchspace"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// Table4Row is one model row.
+type Table4Row struct {
+	Model     string
+	Deadline  time.Duration
+	Fixed     Stat
+	Rubber    Stat
+	FixedPlan sim.Plan
+	RBPlan    sim.Plan
+}
+
+// Table4Result reproduces Table 4: realized cost of fixed-cluster vs
+// RubberBand execution for ResNet-101/CIFAR-10 (20 min),
+// ResNet-152/CIFAR-100 (60 min) and BERT/RTE (20 min). Expected shape:
+// RubberBand reduces cost on every model; the reduction is largest for
+// the vision models (strong early parallelism and long survivor tails)
+// and smaller for BERT (worse scaling limits how much front-loading
+// helps).
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// table4Workloads returns the three model workloads.
+func table4Workloads(fast bool) []struct {
+	model    *model.Model
+	space    *searchspace.Space
+	spec     *spec.ExperimentSpec
+	deadline time.Duration
+} {
+	shaVision := spec.MustSHA(32, 1, 50, 3)
+	shaBERT := spec.MustSHA(32, 1, 30, 3)
+	if fast {
+		shaVision = spec.MustSHA(8, 1, 12, 3)
+		shaBERT = spec.MustSHA(8, 1, 9, 3)
+	}
+	// The paper's wall-clock deadlines (20/60/20 minutes) correspond to
+	// its testbed's epoch times. Our substrate's epochs are shorter for
+	// ResNet-152/CIFAR-100 and BERT/RTE, so the paper's deadlines would
+	// be slack — a regime where the cost-optimal plan is a tiny static
+	// cluster for every policy. We scale those two deadlines to the same
+	// *tightness* (deadline ÷ minimum serial tail time) as the paper's,
+	// preserving the comparison the table makes. See EXPERIMENTS.md.
+	return []struct {
+		model    *model.Model
+		space    *searchspace.Space
+		spec     *spec.ExperimentSpec
+		deadline time.Duration
+	}{
+		{model.ResNet101(), searchspace.DefaultVisionSpace(), shaVision, 20 * time.Minute},
+		{model.ResNet152(), searchspace.DefaultVisionSpace(), shaVision, 25 * time.Minute},
+		{model.BERT(), searchspace.DefaultNLPSpace(), shaBERT, 7 * time.Minute},
+	}
+}
+
+// Table4 runs the model sweep end-to-end.
+func Table4(cfg Config) (*Table4Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table4Result{}
+	for wi, w := range table4Workloads(cfg.Fast) {
+		row := Table4Row{Model: w.model.Name, Deadline: w.deadline}
+		var fixed, rubber []float64
+		for s := 0; s < cfg.Seeds; s++ {
+			seed := cfg.Seed + uint64(wi)*7777 + uint64(s)*1000
+			for _, policy := range []core.Policy{core.PolicyStatic, core.PolicyRubberBand} {
+				cp := sim.DefaultCloudProfile()
+				cp.DatasetGB = w.model.Dataset.SizeGB
+				cp.Overheads = cloud.Overheads{
+					QueueDelay:  stats.Deterministic{Value: 5},
+					InitLatency: stats.Deterministic{Value: 15},
+				}
+				e := &core.Experiment{
+					Model:          w.model,
+					Space:          w.space,
+					Spec:           w.spec,
+					Cloud:          cp,
+					Deadline:       w.deadline,
+					Policy:         policy,
+					Seed:           seed,
+					Samples:        cfg.Samples,
+					MaxGPUs:        128,
+					RestoreSeconds: 2,
+				}
+				out, err := e.Run()
+				if err != nil {
+					return nil, fmt.Errorf("table4 %s %v: %w", w.model.Name, policy, err)
+				}
+				if policy == core.PolicyStatic {
+					fixed = append(fixed, out.Actual.Cost)
+					row.FixedPlan = out.Plan
+				} else {
+					rubber = append(rubber, out.Actual.Cost)
+					row.RBPlan = out.Plan
+				}
+			}
+		}
+		row.Fixed.Mean, row.Fixed.Std = stats.MeanStd(fixed)
+		row.Rubber.Mean, row.Rubber.Std = stats.MeanStd(rubber)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders Table 4.
+func (r *Table4Result) render() *table {
+	t := &table{
+		title:  "Table 4: realized cost ($) across models, fixed cluster vs RubberBand",
+		header: []string{"Model", "Time", "Fixed", "RubberBand"},
+	}
+	for _, row := range r.Rows {
+		t.add(row.Model,
+			mmss(row.Deadline.Seconds()),
+			meanStd(row.Fixed.Mean, row.Fixed.Std),
+			meanStd(row.Rubber.Mean, row.Rubber.Std))
+	}
+	return t
+}
+
+// String renders the result as an aligned text table.
+func (r *Table4Result) String() string { return r.render().String() }
+
+// CSV renders the result as comma-separated values.
+func (r *Table4Result) CSV() string { return r.render().CSV() }

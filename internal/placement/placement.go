@@ -1,0 +1,344 @@
+// Package placement implements RubberBand's placement controller (§4.4,
+// Algorithm 3): it converts per-trial GPU allocations into physical
+// assignments of trial workers to nodes, maximizing spatial locality.
+//
+// Invariants the controller maintains:
+//
+//   - A trial whose allocation fits on one node is placed entirely on one
+//     node (co-location); larger trials are packed onto a minimal set of
+//     nodes, taking whole nodes where possible.
+//   - Assignments of trials whose allocation did not change are preserved
+//     across scheduling epochs on a best-effort basis.
+//   - Trials whose reassignment has been issued but not yet confirmed by
+//     their workers are locked: their resources cannot be perturbed.
+//   - When a trial cannot be placed on free capacity, already-placed
+//     smaller, unlocked trials are displaced to make room; displaced
+//     trials re-enter the queue for their own placement attempt.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// TrialID identifies a trial within one experiment.
+type TrialID int
+
+// Assignment is one trial's physical placement: GPUs held per node.
+type Assignment map[cluster.NodeID]int
+
+// GPUs returns the total GPUs in the assignment.
+func (a Assignment) GPUs() int {
+	total := 0
+	for _, g := range a {
+		total += g
+	}
+	return total
+}
+
+// Nodes returns the number of distinct nodes the assignment spans.
+func (a Assignment) Nodes() int { return len(a) }
+
+// clone returns a deep copy.
+func (a Assignment) clone() Assignment {
+	c := make(Assignment, len(a))
+	for n, g := range a {
+		c[n] = g
+	}
+	return c
+}
+
+// Plan maps trials to their assignments.
+type Plan map[TrialID]Assignment
+
+// clone returns a deep copy.
+func (p Plan) clone() Plan {
+	c := make(Plan, len(p))
+	for t, a := range p {
+		c[t] = a.clone()
+	}
+	return c
+}
+
+// Controller computes placement plans over scheduling epochs.
+type Controller struct {
+	nodeGPUs int
+	current  Plan
+	locked   map[TrialID]bool
+}
+
+// NewController returns a controller for nodes with nodeGPUs accelerators
+// each. It panics if nodeGPUs < 1.
+func NewController(nodeGPUs int) *Controller {
+	if nodeGPUs < 1 {
+		panic(fmt.Sprintf("placement: nodeGPUs = %d", nodeGPUs))
+	}
+	return &Controller{
+		nodeGPUs: nodeGPUs,
+		current:  make(Plan),
+		locked:   make(map[TrialID]bool),
+	}
+}
+
+// Current returns a deep copy of the current placement plan.
+func (c *Controller) Current() Plan { return c.current.clone() }
+
+// Lock marks a trial's placement as in-flight: it cannot be displaced
+// until Unlock (§4.4.1 "reserved" list).
+func (c *Controller) Lock(t TrialID) { c.locked[t] = true }
+
+// Unlock clears a trial's in-flight mark.
+func (c *Controller) Unlock(t TrialID) { delete(c.locked, t) }
+
+// Remove drops a trial (terminated or finished) from the plan, freeing its
+// resources for the next Update.
+func (c *Controller) Remove(t TrialID) {
+	delete(c.current, t)
+	delete(c.locked, t)
+}
+
+// node tracks capacity during one Update pass.
+type node struct {
+	id   cluster.NodeID
+	free int
+}
+
+// Update computes a placement plan satisfying allocs (trial -> GPUs) over
+// the given nodes, implementing Algorithm 3. Trials already placed with an
+// unchanged allocation keep their assignment; others are (re)placed
+// best-fit in descending allocation order, displacing smaller unlocked
+// trials when necessary. It returns the new plan, which also becomes the
+// controller's current plan. An error is returned if total demand exceeds
+// capacity or a locked trial's allocation changed.
+func (c *Controller) Update(allocs map[TrialID]int, nodes []*cluster.Node) (Plan, error) {
+	demand := 0
+	for t, g := range allocs {
+		if g < 1 {
+			return nil, fmt.Errorf("placement: trial %d allocated %d GPUs", t, g)
+		}
+		demand += g
+	}
+	capacity := 0
+	for _, n := range nodes {
+		capacity += n.GPUs
+	}
+	if demand > capacity {
+		return nil, fmt.Errorf("placement: demand %d GPUs exceeds capacity %d", demand, capacity)
+	}
+
+	// Start from assignments that can be preserved: trials present in the
+	// current plan with an unchanged allocation and whose nodes all still
+	// exist (remove_discrepancies).
+	nodeSet := make(map[cluster.NodeID]int, len(nodes)) // id -> capacity
+	for _, n := range nodes {
+		nodeSet[n.ID] = n.GPUs
+	}
+	plan := make(Plan, len(allocs))
+	for t, a := range c.current {
+		want, live := allocs[t]
+		if !live {
+			if c.locked[t] {
+				return nil, fmt.Errorf("placement: locked trial %d removed from allocation", t)
+			}
+			continue
+		}
+		ok := a.GPUs() == want
+		for nid := range a {
+			if _, exists := nodeSet[nid]; !exists {
+				ok = false
+			}
+		}
+		if ok {
+			plan[t] = a.clone()
+		} else if c.locked[t] {
+			return nil, fmt.Errorf("placement: locked trial %d needs reallocation", t)
+		}
+	}
+
+	// Fast path: everything preserved.
+	if len(plan) == len(allocs) {
+		c.current = plan
+		return plan.clone(), nil
+	}
+
+	// Compute free capacity under the preserved assignments.
+	free := make(map[cluster.NodeID]int, len(nodes))
+	for id, cap := range nodeSet {
+		free[id] = cap
+	}
+	for _, a := range plan {
+		for nid, g := range a {
+			free[nid] -= g
+			if free[nid] < 0 {
+				return nil, fmt.Errorf("placement: preserved plan oversubscribes node %d", nid)
+			}
+		}
+	}
+
+	// Queue of trials to place, largest first (Algorithm 3's
+	// sort_by_alloc descending). Trials placed during this epoch cannot
+	// themselves be displaced — each queued trial gets exactly one
+	// placement opportunity, which guarantees termination.
+	var queue []TrialID
+	for t := range allocs {
+		if _, done := plan[t]; !done {
+			queue = append(queue, t)
+		}
+	}
+	sortTrials(queue, allocs)
+
+	placedNow := make(map[TrialID]bool)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		want := allocs[t]
+		asg, displaced, err := c.place(t, want, plan, free, placedNow)
+		if err != nil {
+			return nil, err
+		}
+		plan[t] = asg
+		placedNow[t] = true
+		if len(displaced) > 0 {
+			queue = append(queue, displaced...)
+			sortTrials(queue, allocs)
+		}
+	}
+	c.current = plan
+	return plan.clone(), nil
+}
+
+// place assigns want GPUs to trial t, mutating plan and free. It may
+// displace smaller trials — excluding locked trials and trials already
+// placed this epoch — which are removed from plan (their capacity returned
+// to free) and returned for re-queueing.
+func (c *Controller) place(t TrialID, want int, plan Plan, free map[cluster.NodeID]int, placedNow map[TrialID]bool) (Assignment, []TrialID, error) {
+	asg := make(Assignment)
+	remaining := want
+	var displaced []TrialID
+
+	for remaining > 0 {
+		// The unit is a full node for whole-node chunks, or the entire
+		// remainder (which must then be co-located on a single node).
+		unit := remaining
+		if unit > c.nodeGPUs {
+			unit = c.nodeGPUs
+		}
+		nid, ok := bestFit(free, unit)
+		if !ok {
+			// Displace: free the smallest displaceable trial whose
+			// removal opens a node with enough room.
+			victim, vok := c.pickVictim(plan, free, unit, t, placedNow)
+			if !vok {
+				return nil, nil, fmt.Errorf("placement: cannot fit %d GPUs for trial %d", unit, t)
+			}
+			for nid, g := range plan[victim] {
+				free[nid] += g
+			}
+			delete(plan, victim)
+			displaced = append(displaced, victim)
+			continue
+		}
+		free[nid] -= unit
+		asg[nid] += unit
+		remaining -= unit
+	}
+	return asg, displaced, nil
+}
+
+// bestFit returns the node with the least free capacity that still fits
+// unit GPUs.
+func bestFit(free map[cluster.NodeID]int, unit int) (cluster.NodeID, bool) {
+	best := cluster.NodeID(-1)
+	bestFree := int(^uint(0) >> 1)
+	for nid, f := range free {
+		if f >= unit && (f < bestFree || (f == bestFree && nid < best)) {
+			best, bestFree = nid, f
+		}
+	}
+	return best, best >= 0
+}
+
+// pickVictim chooses the smallest displaceable trial (other than t) whose
+// removal would let some node fit unit GPUs. Locked trials and trials
+// placed this epoch are not displaceable.
+func (c *Controller) pickVictim(plan Plan, free map[cluster.NodeID]int, unit int, t TrialID, placedNow map[TrialID]bool) (TrialID, bool) {
+	victim := TrialID(-1)
+	victimGPUs := int(^uint(0) >> 1)
+	for cand, asg := range plan {
+		if cand == t || c.locked[cand] || placedNow[cand] {
+			continue
+		}
+		g := asg.GPUs()
+		if g >= victimGPUs {
+			continue
+		}
+		// Would removing cand open enough room somewhere?
+		for nid, held := range asg {
+			if free[nid]+held >= unit {
+				victim, victimGPUs = cand, g
+				break
+			}
+		}
+	}
+	return victim, victim >= 0
+}
+
+// sortTrials orders trials by allocation descending, breaking ties by ID
+// for determinism.
+func sortTrials(ts []TrialID, allocs map[TrialID]int) {
+	sort.Slice(ts, func(i, j int) bool {
+		if allocs[ts[i]] != allocs[ts[j]] {
+			return allocs[ts[i]] > allocs[ts[j]]
+		}
+		return ts[i] < ts[j]
+	})
+}
+
+// NodesNeeded returns the minimum node count that lets trials trials of
+// gpusPerTrial GPUs each be placed with full co-location: sub-node trials
+// never split across nodes, super-node trials take whole nodes plus a
+// shared node for any remainder. This is the cluster size the executor
+// provisions for a stage, and the instance count the simulator prices.
+func NodesNeeded(trials, gpusPerTrial, nodeGPUs int) int {
+	if trials < 1 || gpusPerTrial < 1 || nodeGPUs < 1 {
+		panic(fmt.Sprintf("placement: NodesNeeded(%d, %d, %d)", trials, gpusPerTrial, nodeGPUs))
+	}
+	if gpusPerTrial <= nodeGPUs {
+		perNode := nodeGPUs / gpusPerTrial
+		return (trials + perNode - 1) / perNode
+	}
+	whole := gpusPerTrial / nodeGPUs
+	rem := gpusPerTrial % nodeGPUs
+	n := trials * whole
+	if rem > 0 {
+		remPerNode := nodeGPUs / rem
+		n += (trials + remPerNode - 1) / remPerNode
+	}
+	return n
+}
+
+// DrainOrder returns the ready nodes ordered so that draining them in
+// sequence frees whole machines fastest: emptiest first. Used before
+// cluster scale-down to bin-pack trials away from the nodes about to be
+// released.
+func (c *Controller) DrainOrder(nodes []*cluster.Node) []cluster.NodeID {
+	used := make(map[cluster.NodeID]int)
+	for _, a := range c.current {
+		for nid, g := range a {
+			used[nid] += g
+		}
+	}
+	ids := make([]cluster.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if used[ids[i]] != used[ids[j]] {
+			return used[ids[i]] < used[ids[j]]
+		}
+		return ids[i] > ids[j] // prefer releasing newest nodes on ties
+	})
+	return ids
+}

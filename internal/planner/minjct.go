@@ -1,0 +1,146 @@
+package planner
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// PlanMinJCT solves the dual problem the paper notes its techniques
+// extend to (§2, footnote 1): minimize job completion time subject to a
+// cost budget in dollars.
+//
+// The search mirrors Algorithm 2 with the roles of the objectives
+// swapped: the warm start is the JCT-optimal static allocation whose
+// predicted cost fits the budget, and the greedy loop *increments*
+// per-stage allocations — choosing, each step, the candidate with the
+// largest JCT reduction per added dollar — until the budget is exhausted
+// or no candidate improves JCT meaningfully.
+func (p *Planner) PlanMinJCT(budget float64) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if budget <= 0 {
+		return Result{}, ErrInfeasible
+	}
+	stages := p.Sim.Spec().NumStages()
+
+	// Warm start: the fastest static allocation within budget.
+	best := Result{}
+	found := false
+	for g := 1; g <= p.maxGPUs(); g++ {
+		est, err := p.Sim.Estimate(sim.Uniform(g, stages))
+		if err != nil {
+			return Result{}, err
+		}
+		if est.Cost > budget {
+			continue
+		}
+		if !found || est.JCT < best.Estimate.JCT {
+			best = Result{Plan: sim.Uniform(g, stages), Estimate: est}
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, ErrInfeasible
+	}
+
+	cur := best
+	for {
+		cands := p.generateUpCandidates(cur.Plan)
+		if len(cands) == 0 {
+			break
+		}
+		bestIdx := -1
+		bestBenefit := math.Inf(-1)
+		var bestEst sim.Estimate
+		for i, cand := range cands {
+			est, err := p.Sim.Estimate(cand)
+			if err != nil {
+				return Result{}, err
+			}
+			if est.Cost > budget {
+				continue
+			}
+			benefit := jctBenefit(cur.Estimate, est)
+			if benefit > bestBenefit {
+				bestIdx, bestBenefit, bestEst = i, benefit, est
+			}
+		}
+		if bestIdx < 0 {
+			break // every candidate blows the budget
+		}
+		if cur.Estimate.JCT-bestEst.JCT < 1 { // < 1 s of improvement
+			break
+		}
+		cur = Result{Plan: cands[bestIdx], Estimate: bestEst}
+	}
+	if cur.Estimate.JCT < best.Estimate.JCT {
+		best = cur
+	}
+	return best, nil
+}
+
+// jctBenefit mirrors Equation 1 for the dual: JCT reduction per dollar of
+// added cost. Candidates that also reduce cost are unboundedly good;
+// candidates that slow the job are unboundedly bad.
+func jctBenefit(cur, cand sim.Estimate) float64 {
+	dJCT := cur.JCT - cand.JCT
+	dCost := cand.Cost - cur.Cost
+	if dJCT <= 0 {
+		return math.Inf(-1)
+	}
+	if dCost <= 0 {
+		return math.Inf(1)
+	}
+	return dJCT / dCost
+}
+
+// generateUpCandidates produces per-stage increments of the current plan:
+// the next higher fair value, and the smallest fair value that adds a
+// whole instance (the ascent mirror of generateCandidates).
+func (p *Planner) generateUpCandidates(cur sim.Plan) []sim.Plan {
+	sp := p.Sim.Spec()
+	gpn := p.Sim.Cloud().Instance.GPUs
+	maxGPUs := p.maxGPUs()
+	var out []sim.Plan
+	add := func(i, v int) {
+		for _, existing := range out {
+			if existing.Equal(withAlloc(cur, i, v)) {
+				return
+			}
+		}
+		out = append(out, withAlloc(cur, i, v))
+	}
+	for i := range cur.Alloc {
+		trials := sp.Stage(i).Trials
+		if v, ok := fairStepUp(cur.Alloc[i], trials, maxGPUs); ok {
+			add(i, v)
+		}
+		if gpn > 0 {
+			curInstances := (cur.Alloc[i] + gpn - 1) / gpn
+			target := curInstances*gpn + 1 // first allocation on a new instance
+			if v, ok := fairCeil(target, trials, maxGPUs); ok && v > cur.Alloc[i] {
+				add(i, v)
+			}
+		}
+	}
+	return out
+}
+
+// fairStepUp returns the smallest allocation strictly above alloc (and at
+// most max) that divides trials evenly, and whether one exists.
+func fairStepUp(alloc, trials, max int) (int, bool) {
+	return fairCeil(alloc+1, trials, max)
+}
+
+// fairCeil returns the smallest allocation v in [min, max] that is a
+// factor or multiple of trials, and whether one exists.
+func fairCeil(min, trials, max int) (int, bool) {
+	for v := min; v <= max; v++ {
+		if v%trials == 0 || trials%v == 0 {
+			return v, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,334 @@
+// Package planner generates resource allocation plans for hyperparameter
+// tuning jobs under a time constraint (§4.3).
+//
+// Three policies are provided:
+//
+//   - Static: the baseline from §3.2 — enumerate static cluster sizes and
+//     return the cost-optimal one whose predicted JCT meets the deadline.
+//   - NaiveElastic: the prior-work baseline from §6.3.1 — the cluster is
+//     resized per stage but every trial keeps a fixed GPU allocation
+//     across stages.
+//   - Elastic: RubberBand's greedy optimizer (Algorithm 2) — warm-started
+//     from the cost-optimal static allocation (and configurable multiples
+//     of it), it iteratively decrements per-stage allocations, selecting
+//     the candidate with the highest cost-marginal benefit (Equation 1)
+//     until no candidate improves cost or all violate the deadline.
+//
+// All policies evaluate candidates exclusively through the simulator
+// (package sim), treating it as a black box.
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Result is a planning outcome: the chosen plan and its predicted
+// performance.
+type Result struct {
+	Plan     sim.Plan
+	Estimate sim.Estimate
+}
+
+// Planner searches the allocation-plan space for one job.
+type Planner struct {
+	// Sim predicts JCT and cost for candidate plans.
+	Sim *sim.Simulator
+	// Deadline is the job's time constraint in seconds.
+	Deadline float64
+	// MaxGPUs caps the static enumeration and therefore the peak cluster
+	// size any plan may request. Zero selects a default of
+	// max(64, 4 × first-stage trials).
+	MaxGPUs int
+	// Delta is the minimum predicted cost improvement (in dollars) for
+	// the greedy loop to continue. Zero selects a small default.
+	Delta float64
+	// WarmStartMultipliers scales the static-optimal warm start to widen
+	// the search (§4.3): the optimizer never increases allocations, so
+	// each multiplier bounds a different region. Nil selects {1, 2, 3}.
+	WarmStartMultipliers []int
+	// DisableInstanceStep removes the instance-boundary candidates from
+	// greedy generation, leaving only the paper's plain fair decrement.
+	// Under per-instance billing this stalls the search on sub-instance
+	// steps; exposed for the design-choice ablation.
+	DisableInstanceStep bool
+	// RawCostSelection selects greedy candidates by raw predicted cost
+	// reduction instead of Equation 1's JCT-normalized marginal benefit;
+	// exposed for the design-choice ablation.
+	RawCostSelection bool
+}
+
+// ErrInfeasible is returned when no plan within MaxGPUs meets the deadline.
+var ErrInfeasible = fmt.Errorf("planner: no feasible plan within resource cap")
+
+func (p *Planner) maxGPUs() int {
+	if p.MaxGPUs > 0 {
+		return p.MaxGPUs
+	}
+	n := 4 * p.Sim.Spec().TotalTrials()
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+func (p *Planner) delta() float64 {
+	if p.Delta > 0 {
+		return p.Delta
+	}
+	return 0.01
+}
+
+func (p *Planner) warmStarts() []int {
+	if len(p.WarmStartMultipliers) > 0 {
+		return p.WarmStartMultipliers
+	}
+	return []int{1, 2, 3}
+}
+
+func (p *Planner) validate() error {
+	if p.Sim == nil {
+		return fmt.Errorf("planner: nil simulator")
+	}
+	if p.Deadline <= 0 {
+		return fmt.Errorf("planner: non-positive deadline %v", p.Deadline)
+	}
+	return nil
+}
+
+// PlanStatic finds the cost-optimal static allocation meeting the
+// deadline by one-dimensional enumeration (the warm-start procedure of
+// §4.3 and the paper's fixed-cluster baseline).
+func (p *Planner) PlanStatic() (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	stages := p.Sim.Spec().NumStages()
+	best := Result{}
+	found := false
+	for g := 1; g <= p.maxGPUs(); g++ {
+		// The analytic mean JCT ignores provisioning overheads and
+		// straggler inflation, so it lower-bounds the estimate: anything
+		// already over the deadline cannot become feasible.
+		if p.Sim.StaticClusterJCT(g) > p.Deadline {
+			continue
+		}
+		est, err := p.Sim.Estimate(sim.Uniform(g, stages))
+		if err != nil {
+			return Result{}, err
+		}
+		if est.JCT > p.Deadline {
+			continue
+		}
+		if !found || est.Cost < best.Estimate.Cost {
+			best = Result{Plan: sim.Uniform(g, stages), Estimate: est}
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// PlanNaiveElastic finds the cost-optimal plan within the constrained
+// space of fixed per-trial allocations: each trial holds k GPUs in every
+// stage, so the cluster shrinks with the trial count but trials are never
+// re-scaled. This reproduces the prior-work baseline the paper compares
+// against (§6.3.1).
+func (p *Planner) PlanNaiveElastic() (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	sp := p.Sim.Spec()
+	best := Result{}
+	found := false
+	for k := 1; ; k++ {
+		if sp.TotalTrials()*k > p.maxGPUs() && k > 1 {
+			break
+		}
+		alloc := make([]int, sp.NumStages())
+		for i := range alloc {
+			alloc[i] = sp.Stage(i).Trials * k
+		}
+		plan := sim.Plan{Alloc: alloc}
+		est, err := p.Sim.Estimate(plan)
+		if err != nil {
+			return Result{}, err
+		}
+		if est.JCT <= p.Deadline && (!found || est.Cost < best.Estimate.Cost) {
+			best = Result{Plan: plan, Estimate: est}
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// PlanElastic runs RubberBand's greedy optimizer (Algorithm 2) from each
+// warm start and returns the cheapest feasible plan found. The result is
+// guaranteed to predict no worse than the cost-optimal static allocation,
+// since that allocation is itself a warm start.
+func (p *Planner) PlanElastic() (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	staticBest, err := p.PlanStatic()
+	if err != nil {
+		return Result{}, err
+	}
+	best := staticBest
+	for _, mult := range p.warmStarts() {
+		warm := staticBest.Plan.Clone()
+		for i := range warm.Alloc {
+			warm.Alloc[i] *= mult
+			if warm.Alloc[i] > p.maxGPUs() {
+				warm.Alloc[i] = p.maxGPUs()
+			}
+		}
+		warmEst, err := p.Sim.Estimate(warm)
+		if err != nil {
+			return Result{}, err
+		}
+		if warmEst.JCT > p.Deadline {
+			// An inflated warm start can blow the deadline through
+			// added provisioning overhead; skip it.
+			if mult != 1 {
+				continue
+			}
+		}
+		res, err := p.optimize(Result{Plan: warm, Estimate: warmEst})
+		if err != nil {
+			return Result{}, err
+		}
+		if res.Estimate.JCT <= p.Deadline && res.Estimate.Cost < best.Estimate.Cost {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// optimize is the greedy descent of Algorithm 2.
+func (p *Planner) optimize(start Result) (Result, error) {
+	cur := start
+	for {
+		gpn := p.Sim.Cloud().Instance.GPUs
+		if p.DisableInstanceStep {
+			gpn = 0
+		}
+		cands := generateCandidates(cur.Plan, p.Sim.Spec(), gpn)
+		if len(cands) == 0 {
+			return cur, nil
+		}
+		bestIdx := -1
+		bestBenefit := math.Inf(-1)
+		var bestEst sim.Estimate
+		for i, cand := range cands {
+			est, err := p.Sim.Estimate(cand)
+			if err != nil {
+				return Result{}, err
+			}
+			if est.JCT > p.Deadline {
+				continue
+			}
+			var benefit float64
+			if p.RawCostSelection {
+				benefit = cur.Estimate.Cost - est.Cost
+			} else {
+				benefit = marginalBenefit(cur.Estimate, est)
+			}
+			if benefit > bestBenefit {
+				bestIdx, bestBenefit, bestEst = i, benefit, est
+			}
+		}
+		if bestIdx < 0 {
+			return cur, nil // every candidate violates the constraint
+		}
+		if cur.Estimate.Cost-bestEst.Cost < p.delta() {
+			return cur, nil // no candidate improves cost enough
+		}
+		cur = Result{Plan: cands[bestIdx], Estimate: bestEst}
+	}
+}
+
+// marginalBenefit implements Equation 1: cost reduction normalized by the
+// JCT increase it buys. When a candidate improves (or preserves) JCT as
+// well as cost, the benefit is unboundedly good; when it worsens cost, it
+// is unboundedly bad.
+func marginalBenefit(cur, cand sim.Estimate) float64 {
+	dCost := cur.Cost - cand.Cost
+	dJCT := cand.JCT - cur.JCT
+	if dCost <= 0 {
+		return math.Inf(-1)
+	}
+	if dJCT <= 0 {
+		return math.Inf(1)
+	}
+	return dCost / dJCT
+}
+
+// generateCandidates produces per-stage decrements of the current plan
+// (§4.3). For each stage it proposes (a) the next lower fair value — the
+// smallest decrement keeping the stage allocation a factor or multiple of
+// the trial count, so resources always divide evenly — and (b) the largest
+// fair value that releases at least one whole instance of gpusPerNode
+// GPUs. Candidate (b) matters under per-instance billing, where cost only
+// falls at instance boundaries: without it the greedy search stalls on
+// sub-instance decrements that lengthen the stage without releasing any
+// billed machine.
+func generateCandidates(cur sim.Plan, sp *spec.ExperimentSpec, gpusPerNode int) []sim.Plan {
+	var out []sim.Plan
+	add := func(i, v int) {
+		for _, existing := range out {
+			if existing.Alloc[i] == v && existing.Equal(withAlloc(cur, i, v)) {
+				return
+			}
+		}
+		out = append(out, withAlloc(cur, i, v))
+	}
+	for i := range cur.Alloc {
+		trials := sp.Stage(i).Trials
+		if v, ok := fairStepDown(cur.Alloc[i], trials); ok {
+			add(i, v)
+		}
+		if gpusPerNode > 0 {
+			curInstances := (cur.Alloc[i] + gpusPerNode - 1) / gpusPerNode
+			if curInstances > 1 {
+				target := (curInstances - 1) * gpusPerNode
+				if v, ok := fairFloor(target, trials); ok && v < cur.Alloc[i] {
+					add(i, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func withAlloc(p sim.Plan, i, v int) sim.Plan {
+	q := p.Clone()
+	q.Alloc[i] = v
+	return q
+}
+
+// fairStepDown returns the largest allocation strictly below alloc that is
+// a factor or a multiple of trials (so trials always share it evenly), and
+// whether one exists. Allocations below 1 GPU do not exist.
+func fairStepDown(alloc, trials int) (int, bool) {
+	return fairFloor(alloc-1, trials)
+}
+
+// fairFloor returns the largest allocation v <= max that divides trials
+// evenly (factor or multiple), and whether one exists.
+func fairFloor(max, trials int) (int, bool) {
+	for v := max; v >= 1; v-- {
+		if v%trials == 0 || trials%v == 0 {
+			return v, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,131 @@
+// Package profiler implements RubberBand's pre-execution instrumentation
+// step (§5): before planning, a trial's resource allocation is scaled up
+// by powers of two and per-iteration training latencies are measured at
+// each point. The aggregated data yields an interpolated scaling function
+// and fitted latency distribution that parameterize the simulator.
+//
+// Because DL training is extremely repetitive with predictable
+// performance, a handful of iterations per allocation suffices, and the
+// whole step completes in simulated minutes — negligible next to the job
+// itself.
+package profiler
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options configure a profiling run.
+type Options struct {
+	// MaxGPUs is the largest allocation probed (rounded down to a power
+	// of two). Zero selects 16.
+	MaxGPUs int
+	// ItersPerPoint is the number of iterations measured per allocation.
+	// Zero selects 20.
+	ItersPerPoint int
+	// GPUsPerNode is the worker instance's accelerator count, used to
+	// derive the minimal node spread at each probed allocation. Zero
+	// selects 4 (p3.8xlarge).
+	GPUsPerNode int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxGPUs <= 0 {
+		o.MaxGPUs = 16
+	}
+	if o.ItersPerPoint <= 0 {
+		o.ItersPerPoint = 20
+	}
+	if o.GPUsPerNode <= 0 {
+		o.GPUsPerNode = 4
+	}
+	return o
+}
+
+// Point is one measured allocation.
+type Point struct {
+	GPUs    int
+	Mean    float64 // mean iteration latency (s)
+	Std     float64 // sample std of iteration latency
+	Speedup float64 // mean(1 GPU) / mean(this)
+}
+
+// Report is the profiling outcome.
+type Report struct {
+	// Profile is the fitted training profile for the simulator.
+	Profile sim.MeasuredTrainProfile
+	// Points are the raw measurements.
+	Points []Point
+	// Duration is the simulated wall time the profiling step consumed
+	// (measurements are serial).
+	Duration float64
+}
+
+// Profile measures the model's scaling behaviour at powers-of-two
+// allocations up to opt.MaxGPUs and fits a training profile.
+func Profile(m *model.Model, batch int, opt Options, rng *stats.RNG) (*Report, error) {
+	if m == nil {
+		return nil, fmt.Errorf("profiler: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("profiler: batch %d", batch)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("profiler: nil rng")
+	}
+	opt = opt.withDefaults()
+
+	var (
+		points   []Point
+		gpus     []int
+		speedups []float64
+		duration float64
+	)
+	for g := 1; g <= opt.MaxGPUs; g *= 2 {
+		nodes := model.MinNodes(g, opt.GPUsPerNode)
+		dist := m.IterLatencyDist(batch, g, nodes)
+		samples := make([]float64, opt.ItersPerPoint)
+		for i := range samples {
+			samples[i] = dist.Sample(rng)
+			duration += samples[i]
+		}
+		s := stats.Summarize(samples)
+		points = append(points, Point{GPUs: g, Mean: s.Mean, Std: s.Std})
+		gpus = append(gpus, g)
+		speedups = append(speedups, 0) // filled below once mean(1) is known
+	}
+	base := points[0].Mean
+	if base <= 0 {
+		return nil, fmt.Errorf("profiler: non-positive base latency %v", base)
+	}
+	for i := range points {
+		sp := base / points[i].Mean
+		if i == 0 {
+			sp = 1 // anchor exactly; measurement noise must not break monotonicity at 1
+		}
+		if sp < 1 {
+			sp = 1 // more GPUs are never treated as a slowdown by the planner
+		}
+		points[i].Speedup = sp
+		speedups[i] = sp
+	}
+	scaling, err := model.NewInterpolatedScaling(gpus, speedups)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: fitting scaling function: %w", err)
+	}
+	return &Report{
+		Profile: sim.MeasuredTrainProfile{
+			BaseMean: points[0].Mean,
+			BaseStd:  points[0].Std,
+			Scaling:  scaling,
+		},
+		Points:   points,
+		Duration: duration,
+	}, nil
+}

@@ -1,0 +1,111 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func TestProfileValidation(t *testing.T) {
+	m := model.ResNet50()
+	rng := stats.NewRNG(1)
+	if _, err := Profile(nil, 512, Options{}, rng); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Profile(m, 0, Options{}, rng); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := Profile(m, 512, Options{}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	bad := *m
+	bad.BaseIterSeconds = 0
+	if _, err := Profile(&bad, 512, Options{}, rng); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestProfilePowersOfTwo(t *testing.T) {
+	m := model.ResNet50()
+	rep, err := Profile(m, 512, Options{MaxGPUs: 16, ItersPerPoint: 50, GPUsPerNode: 4}, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGPUs := []int{1, 2, 4, 8, 16}
+	if len(rep.Points) != len(wantGPUs) {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	for i, p := range rep.Points {
+		if p.GPUs != wantGPUs[i] {
+			t.Fatalf("point %d at %d GPUs, want %d", i, p.GPUs, wantGPUs[i])
+		}
+		if p.Mean <= 0 {
+			t.Fatalf("point %d mean %v", i, p.Mean)
+		}
+	}
+	if rep.Duration <= 0 {
+		t.Fatal("zero profiling duration")
+	}
+}
+
+func TestProfileRecoversScaling(t *testing.T) {
+	// The fitted profile's iteration latency should closely track the
+	// ground-truth model at the probed allocations.
+	m := model.ResNet50()
+	m.IterNoiseStd = 0.05 // tight measurements
+	rep, err := Profile(m, 512, Options{MaxGPUs: 16, ItersPerPoint: 200, GPUsPerNode: 4}, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		nodes := model.MinNodes(g, 4)
+		truth := m.IterLatencyMean(512, g, nodes)
+		got := rep.Profile.IterDist(g).Mean()
+		if math.Abs(got-truth)/truth > 0.05 {
+			t.Errorf("at %d GPUs: fitted %v vs truth %v", g, got, truth)
+		}
+	}
+}
+
+func TestProfileSpeedupMonotoneAndAnchored(t *testing.T) {
+	m := model.ResNet101()
+	rep, err := Profile(m, 1024, Options{MaxGPUs: 32, ItersPerPoint: 30, GPUsPerNode: 4}, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points[0].Speedup != 1 {
+		t.Fatalf("speedup at 1 GPU = %v", rep.Points[0].Speedup)
+	}
+	for _, p := range rep.Points {
+		if p.Speedup < 1 {
+			t.Fatalf("speedup < 1 at %d GPUs", p.GPUs)
+		}
+		if p.Speedup > float64(p.GPUs) {
+			t.Fatalf("super-linear fitted speedup %v at %d GPUs", p.Speedup, p.GPUs)
+		}
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	m := model.BERT()
+	a, err := Profile(m, 32, Options{}, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile(m, 32, Options{}, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.Profile.BaseMean != b.Profile.BaseMean {
+		t.Fatal("profiling not deterministic for fixed seed")
+	}
+}
+
+func TestProfileDefaults(t *testing.T) {
+	opt := Options{}.withDefaults()
+	if opt.MaxGPUs != 16 || opt.ItersPerPoint != 20 || opt.GPUsPerNode != 4 {
+		t.Fatalf("defaults = %+v", opt)
+	}
+}

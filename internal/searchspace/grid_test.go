@@ -1,0 +1,127 @@
+package searchspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridCartesianSize(t *testing.T) {
+	s := MustNew(
+		Uniform{Key: "a", Lo: 0, Hi: 1},
+		LogUniform{Key: "b", Lo: 0.001, Hi: 1},
+		Choice{Key: "c", Options: []string{"x", "y"}},
+	)
+	grid, err := s.Grid(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 3*3*2 {
+		t.Fatalf("grid size %d, want 18", len(grid))
+	}
+	// Every config has all keys and in-range values.
+	for _, c := range grid {
+		a, b := c.Float("a"), c.Float("b")
+		if a < 0 || a > 1 || b < 0.001-1e-12 || b > 1+1e-12 {
+			t.Fatalf("out-of-range config %v", c)
+		}
+		if v := c.Str("c"); v != "x" && v != "y" {
+			t.Fatalf("bad choice %q", v)
+		}
+	}
+}
+
+func TestGridLogSpacing(t *testing.T) {
+	s := MustNew(LogUniform{Key: "lr", Lo: 1e-4, Hi: 1})
+	grid, err := s.Grid(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log-spaced: consecutive ratios are equal.
+	ratio := grid[1].Float("lr") / grid[0].Float("lr")
+	for i := 2; i < len(grid); i++ {
+		r := grid[i].Float("lr") / grid[i-1].Float("lr")
+		if math.Abs(r-ratio)/ratio > 1e-9 {
+			t.Fatalf("not log-spaced: ratios %v vs %v", r, ratio)
+		}
+	}
+	// Endpoints hit the bounds up to exp/log round-trip error.
+	if math.Abs(grid[0].Float("lr")-1e-4) > 1e-12 || math.Abs(grid[4].Float("lr")-1) > 1e-12 {
+		t.Fatalf("endpoints wrong: %v .. %v", grid[0].Float("lr"), grid[4].Float("lr"))
+	}
+}
+
+func TestGridIntRange(t *testing.T) {
+	s := MustNew(IntRange{Key: "layers", Lo: 2, Hi: 4})
+	// More points than integers: exact enumeration, no duplicates.
+	grid, err := s.Grid(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 3 {
+		t.Fatalf("grid = %v", grid)
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if grid[i].Float("layers") != want {
+			t.Fatalf("grid[%d] = %v", i, grid[i])
+		}
+	}
+}
+
+func TestGridSinglePoint(t *testing.T) {
+	s := MustNew(Uniform{Key: "a", Lo: 2, Hi: 4})
+	grid, err := s.Grid(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 1 || grid[0].Float("a") != 3 {
+		t.Fatalf("grid = %v", grid)
+	}
+}
+
+func TestGridCap(t *testing.T) {
+	s := MustNew(
+		Uniform{Key: "a", Lo: 0, Hi: 1},
+		Uniform{Key: "b", Lo: 0, Hi: 1},
+		Uniform{Key: "c", Lo: 0, Hi: 1},
+	)
+	if _, err := s.Grid(100, 1000); err == nil {
+		t.Fatal("cap not enforced")
+	}
+	if _, err := s.Grid(0, 0); err == nil {
+		t.Fatal("zero pointsPerDim accepted")
+	}
+}
+
+func TestGridDeterministicOrder(t *testing.T) {
+	s := DefaultVisionSpace()
+	a, err := s.Grid(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Grid(3, 0)
+	for i := range a {
+		for _, k := range s.Dimensions() {
+			if a[i].Float(k) != b[i].Float(k) {
+				t.Fatal("grid order not deterministic")
+			}
+		}
+	}
+}
+
+// Property: grid size is exactly the product of per-dimension point
+// counts (for continuous dimensions, pointsPerDim each).
+func TestQuickGridSize(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		s := MustNew(
+			Uniform{Key: "a", Lo: 0, Hi: 1},
+			LogUniform{Key: "b", Lo: 0.1, Hi: 1},
+		)
+		grid, err := s.Grid(n, 0)
+		return err == nil && len(grid) == n*n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package searchspace defines hyperparameter search spaces and sampling.
+//
+// RubberBand is agnostic to how configurations are chosen (§2): the user
+// supplies a search space and a sampling method. This package provides the
+// standard dimension types (uniform, log-uniform, integer, categorical)
+// and deterministic seeded random sampling, which is all the evaluation
+// workloads require.
+package searchspace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config is one sampled hyperparameter configuration: a mapping from
+// dimension name to value. Values are float64 for numeric dimensions and
+// string for categorical ones.
+type Config map[string]any
+
+// Float returns the named numeric value. It panics if the key is missing
+// or not numeric — configs are produced by Space.Sample, so a miss is a
+// programming error.
+func (c Config) Float(name string) float64 {
+	v, ok := c[name]
+	if !ok {
+		panic(fmt.Sprintf("searchspace: config missing %q", name))
+	}
+	f, ok := v.(float64)
+	if !ok {
+		panic(fmt.Sprintf("searchspace: config key %q is %T, not float64", name, v))
+	}
+	return f
+}
+
+// Str returns the named categorical value, panicking on a miss.
+func (c Config) Str(name string) string {
+	v, ok := c[name]
+	if !ok {
+		panic(fmt.Sprintf("searchspace: config missing %q", name))
+	}
+	s, ok := v.(string)
+	if !ok {
+		panic(fmt.Sprintf("searchspace: config key %q is %T, not string", name, v))
+	}
+	return s
+}
+
+// Dimension is one axis of the search space.
+type Dimension interface {
+	// Name identifies the hyperparameter.
+	Name() string
+	// Sample draws a value using r.
+	Sample(r *stats.RNG) any
+}
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct {
+	Key    string
+	Lo, Hi float64
+}
+
+// Name returns the dimension name.
+func (u Uniform) Name() string { return u.Key }
+
+// Sample draws uniformly from [Lo, Hi).
+func (u Uniform) Sample(r *stats.RNG) any { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// LogUniform samples log-uniformly from [Lo, Hi); both bounds must be
+// positive. It is the conventional prior for learning rates and weight
+// decay.
+type LogUniform struct {
+	Key    string
+	Lo, Hi float64
+}
+
+// Name returns the dimension name.
+func (l LogUniform) Name() string { return l.Key }
+
+// Sample draws exp(U(log Lo, log Hi)).
+func (l LogUniform) Sample(r *stats.RNG) any {
+	lo, hi := math.Log(l.Lo), math.Log(l.Hi)
+	return math.Exp(lo + (hi-lo)*r.Float64())
+}
+
+// IntRange samples an integer uniformly from [Lo, Hi] and returns it as a
+// float64 so Config.Float works uniformly.
+type IntRange struct {
+	Key    string
+	Lo, Hi int
+}
+
+// Name returns the dimension name.
+func (i IntRange) Name() string { return i.Key }
+
+// Sample draws an integer uniformly from [Lo, Hi].
+func (i IntRange) Sample(r *stats.RNG) any {
+	return float64(i.Lo + r.Intn(i.Hi-i.Lo+1))
+}
+
+// Choice samples uniformly from a fixed set of string options.
+type Choice struct {
+	Key     string
+	Options []string
+}
+
+// Name returns the dimension name.
+func (c Choice) Name() string { return c.Key }
+
+// Sample draws one option uniformly.
+func (c Choice) Sample(r *stats.RNG) any { return c.Options[r.Intn(len(c.Options))] }
+
+// Space is a multi-dimensional search space.
+type Space struct {
+	dims []Dimension
+}
+
+// New builds a space from dimensions, rejecting duplicates and invalid
+// bounds.
+func New(dims ...Dimension) (*Space, error) {
+	seen := make(map[string]bool, len(dims))
+	for _, d := range dims {
+		if d.Name() == "" {
+			return nil, fmt.Errorf("searchspace: dimension with empty name")
+		}
+		if seen[d.Name()] {
+			return nil, fmt.Errorf("searchspace: duplicate dimension %q", d.Name())
+		}
+		seen[d.Name()] = true
+		switch v := d.(type) {
+		case Uniform:
+			if v.Hi < v.Lo {
+				return nil, fmt.Errorf("searchspace: %q has Hi < Lo", v.Key)
+			}
+		case LogUniform:
+			if v.Lo <= 0 || v.Hi < v.Lo {
+				return nil, fmt.Errorf("searchspace: %q needs 0 < Lo <= Hi", v.Key)
+			}
+		case IntRange:
+			if v.Hi < v.Lo {
+				return nil, fmt.Errorf("searchspace: %q has Hi < Lo", v.Key)
+			}
+		case Choice:
+			if len(v.Options) == 0 {
+				return nil, fmt.Errorf("searchspace: %q has no options", v.Key)
+			}
+		}
+	}
+	return &Space{dims: append([]Dimension(nil), dims...)}, nil
+}
+
+// MustNew is New for static spaces; it panics on error.
+func MustNew(dims ...Dimension) *Space {
+	s, err := New(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dimensions returns the dimension names in sorted order.
+func (s *Space) Dimensions() []string {
+	names := make([]string, len(s.dims))
+	for i, d := range s.dims {
+		names[i] = d.Name()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sample draws one configuration.
+func (s *Space) Sample(r *stats.RNG) Config {
+	c := make(Config, len(s.dims))
+	for _, d := range s.dims {
+		c[d.Name()] = d.Sample(r)
+	}
+	return c
+}
+
+// SampleN draws n configurations.
+func (s *Space) SampleN(r *stats.RNG, n int) []Config {
+	out := make([]Config, n)
+	for i := range out {
+		out[i] = s.Sample(r)
+	}
+	return out
+}
+
+// DefaultVisionSpace returns the learning-rate / momentum / weight-decay
+// space used by the image-classification tuning workloads.
+func DefaultVisionSpace() *Space {
+	return MustNew(
+		LogUniform{Key: "lr", Lo: 1e-4, Hi: 1},
+		Uniform{Key: "momentum", Lo: 0.8, Hi: 0.99},
+		LogUniform{Key: "weight_decay", Lo: 1e-6, Hi: 1e-2},
+	)
+}
+
+// DefaultNLPSpace returns a fine-tuning space typical of BERT on GLUE
+// tasks.
+func DefaultNLPSpace() *Space {
+	return MustNew(
+		LogUniform{Key: "lr", Lo: 1e-6, Hi: 1e-3},
+		Uniform{Key: "dropout", Lo: 0.0, Hi: 0.3},
+		LogUniform{Key: "weight_decay", Lo: 1e-6, Hi: 1e-1},
+	)
+}

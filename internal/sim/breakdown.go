@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/stats"
+)
+
+// StageEstimate decomposes a plan prediction into per-stage terms: where
+// the time goes and where the money goes. Useful for inspecting why the
+// planner prefers one plan over another (cmd/rbplan -breakdown).
+type StageEstimate struct {
+	// Stage is the 0-based stage index.
+	Stage int
+	// Trials and GPUsPerTrial restate the stage's shape under the plan.
+	Trials       int
+	GPUsPerTrial int
+	// Instances is the cluster size (machines) during the stage.
+	Instances int
+	// Duration is the stage's expected wall-clock span in seconds,
+	// including any provisioning that gates its start.
+	Duration float64
+	// Cost is the stage's expected compute cost attribution in dollars
+	// (per-instance: machines held for the span; per-function: training
+	// GPU-time consumed). Data ingress and minimum-charge corrections
+	// are job-level and excluded.
+	Cost float64
+}
+
+// Breakdown predicts per-stage durations and compute-cost attribution for
+// a plan, using the same Monte-Carlo machinery as Estimate.
+func (s *Simulator) Breakdown(p Plan) ([]StageEstimate, error) {
+	b, err := s.build(p)
+	if err != nil {
+		return nil, err
+	}
+	n := s.spec.NumStages()
+	durSum := make([]float64, n)
+	costSum := make([]float64, n)
+	pr := s.cloud.Pricing
+	it := s.cloud.Instance
+
+	for k := 0; k < s.samples; k++ {
+		timings, _ := b.graph.Sample(s.rng)
+		stageStart := 0.0
+		prev := 0
+		for i := 0; i < n; i++ {
+			end := timings[b.syncID[i]].Finish
+			span := end - stageStart
+			durSum[i] += span
+			if pr.Billing == cloud.PerFunction {
+				var used float64
+				for _, id := range b.trainIDs[i] {
+					nd := b.graph.Node(id)
+					used += (timings[id].Finish - timings[id].Start) * float64(nd.GPUs)
+				}
+				costSum[i] += used * it.PricePerGPUSecond(pr.Market)
+			} else {
+				// Mirror priceSchedule: machines carried over bill the
+				// whole span; newly provisioned ones start billing when
+				// the stage's SCALE request is serviced (queueing is
+				// unbilled).
+				cur := b.instances[i]
+				kept := prev
+				if cur < kept {
+					kept = cur
+				}
+				billed := float64(kept) * span
+				if cur > kept {
+					birth := stageStart
+					if b.scaleID[i] >= 0 {
+						birth = timings[b.scaleID[i]].Finish
+					}
+					billed += float64(cur-kept) * (end - birth)
+				}
+				costSum[i] += billed / 3600 * it.PricePerHour(pr.Market)
+			}
+			prev = b.instances[i]
+			stageStart = end
+		}
+	}
+
+	out := make([]StageEstimate, n)
+	for i := 0; i < n; i++ {
+		st := s.spec.Stage(i)
+		out[i] = StageEstimate{
+			Stage:        i,
+			Trials:       st.Trials,
+			GPUsPerTrial: GPUsPerTrial(p.Alloc[i], st.Trials),
+			Instances:    b.instances[i],
+			Duration:     durSum[i] / float64(s.samples),
+			Cost:         costSum[i] / float64(s.samples),
+		}
+	}
+	return out, nil
+}
+
+// CriticalPathKinds samples one schedule and reports how much of the
+// critical path each node kind contributes — a quick diagnostic for
+// whether a plan is provisioning-bound or training-bound.
+func (s *Simulator) CriticalPathKinds(p Plan, rng *stats.RNG) (map[string]float64, error) {
+	b, err := s.build(p)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = s.rng
+	}
+	timings, _ := b.graph.Sample(rng)
+	path := b.graph.CriticalPath(timings)
+	out := make(map[string]float64)
+	for _, id := range path {
+		nd := b.graph.Node(id)
+		out[nd.Kind.String()] += timings[id].Finish - timings[id].Start
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+// Package sim predicts the completion time and dollar cost of executing a
+// hyperparameter tuning job under a given resource allocation plan (§4.2).
+//
+// The simulator synthesizes a DAG-based execution model from the
+// experiment specification and the plan, parameterized by a profiled
+// training-latency scaling function and a cloud profile (provisioning
+// overheads, instance pricing, billing granularity, data price). Repeated
+// critical-path sampling over the DAG (Algorithm 1) yields JCT estimates;
+// replaying each sampled schedule against the billing model yields cost
+// estimates. The planner (package planner) uses these estimates as a black
+// box to search the plan space.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Plan is an elastic resource allocation plan: Alloc[i] is the number of
+// GPUs allocated to the job during stage i, shared fairly among the
+// stage's running trials.
+type Plan struct {
+	Alloc []int
+}
+
+// NewPlan returns a plan with the given per-stage allocations.
+func NewPlan(alloc ...int) Plan { return Plan{Alloc: append([]int(nil), alloc...)} }
+
+// Uniform returns a static plan allocating gpus to each of stages stages.
+func Uniform(gpus, stages int) Plan {
+	a := make([]int, stages)
+	for i := range a {
+		a[i] = gpus
+	}
+	return Plan{Alloc: a}
+}
+
+// Clone returns a deep copy of the plan.
+func (p Plan) Clone() Plan { return Plan{Alloc: append([]int(nil), p.Alloc...)} }
+
+// Stages returns the number of stages the plan covers.
+func (p Plan) Stages() int { return len(p.Alloc) }
+
+// Max returns the largest per-stage allocation (the peak cluster size in
+// GPUs). Zero for an empty plan.
+func (p Plan) Max() int {
+	m := 0
+	for _, a := range p.Alloc {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// IsStatic reports whether every stage receives the same allocation.
+func (p Plan) IsStatic() bool {
+	for i := 1; i < len(p.Alloc); i++ {
+		if p.Alloc[i] != p.Alloc[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the plan against a stage count: one positive allocation
+// per stage.
+func (p Plan) Validate(stages int) error {
+	if len(p.Alloc) != stages {
+		return fmt.Errorf("sim: plan covers %d stages, spec has %d", len(p.Alloc), stages)
+	}
+	for i, a := range p.Alloc {
+		if a < 1 {
+			return fmt.Errorf("sim: stage %d allocated %d GPUs", i, a)
+		}
+	}
+	return nil
+}
+
+// String renders the plan as "(8, 8, 4, 2)".
+func (p Plan) String() string {
+	parts := make([]string, len(p.Alloc))
+	for i, a := range p.Alloc {
+		parts[i] = fmt.Sprint(a)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Equal reports whether two plans are identical.
+func (p Plan) Equal(q Plan) bool {
+	if len(p.Alloc) != len(q.Alloc) {
+		return false
+	}
+	for i := range p.Alloc {
+		if p.Alloc[i] != q.Alloc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParsePlan parses a comma-separated allocation list such as
+// "16, 10, 12, 4" into a Plan.
+func ParsePlan(s string) (Plan, error) {
+	parts := strings.Split(s, ",")
+	alloc := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return Plan{}, fmt.Errorf("sim: plan element %q: %w", p, err)
+		}
+		if v < 1 {
+			return Plan{}, fmt.Errorf("sim: plan element %d < 1", v)
+		}
+		alloc = append(alloc, v)
+	}
+	if len(alloc) == 0 {
+		return Plan{}, fmt.Errorf("sim: empty plan %q", s)
+	}
+	return Plan{Alloc: alloc}, nil
+}
+
+// GPUsPerTrial returns the fair per-trial allocation for a stage with the
+// given trial count: alloc/trials when the stage has at least one GPU per
+// trial (the planner keeps alloc a multiple of trials), otherwise 1 GPU
+// with trials queueing for slots.
+func GPUsPerTrial(alloc, trials int) int {
+	if alloc >= trials {
+		return alloc / trials
+	}
+	return 1
+}

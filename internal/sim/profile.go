@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// TrainProfile supplies the profiled training-latency behaviour the
+// simulator needs: the distribution of one training iteration's latency at
+// a given per-trial GPU allocation, assuming the placement controller
+// co-locates workers on a minimal node set.
+type TrainProfile interface {
+	// IterDist returns the one-iteration latency distribution at gpus
+	// data parallel workers.
+	IterDist(gpus int) stats.Dist
+}
+
+// ModelTrainProfile derives iteration latencies analytically from a zoo
+// model — the ground truth used by the simulated experiments.
+type ModelTrainProfile struct {
+	// Model is the architecture being tuned.
+	Model *model.Model
+	// Batch is the fixed effective batch size (strong scaling).
+	Batch int
+	// GPUsPerNode is the accelerator count of the worker instance type,
+	// used to compute the minimal node spread at each allocation.
+	GPUsPerNode int
+}
+
+// IterDist returns the model's iteration latency at gpus co-located (to
+// the extent possible) workers.
+func (p ModelTrainProfile) IterDist(gpus int) stats.Dist {
+	nodes := model.MinNodes(gpus, p.GPUsPerNode)
+	return p.Model.IterLatencyDist(p.Batch, gpus, nodes)
+}
+
+// MeasuredTrainProfile is a profiler-produced training profile: a measured
+// single-GPU iteration latency (mean and straggler σ) plus an interpolated
+// speedup function over GPU counts.
+type MeasuredTrainProfile struct {
+	// BaseMean and BaseStd describe one iteration's latency at 1 GPU.
+	BaseMean, BaseStd float64
+	// Scaling is the measured speedup function.
+	Scaling *model.InterpolatedScaling
+}
+
+// IterDist returns the measured latency distribution scaled to gpus.
+func (p MeasuredTrainProfile) IterDist(gpus int) stats.Dist {
+	speedup := p.Scaling.Speedup(gpus)
+	mean := p.BaseMean / speedup
+	if p.BaseStd == 0 {
+		return stats.Deterministic{Value: mean}
+	}
+	return stats.Normal{Mu: mean, Sigma: p.BaseStd / speedup}
+}
+
+// CloudProfile bundles the provider parameters the simulator prices a plan
+// against (§4.1).
+type CloudProfile struct {
+	// Instance is the homogeneous worker instance type.
+	Instance cloud.InstanceType
+	// Pricing selects billing model, market, minimum charge and data
+	// price.
+	Pricing cloud.Pricing
+	// Overheads are the provisioning latency distributions.
+	Overheads cloud.Overheads
+	// DatasetGB is the dataset each instance ingresses once.
+	DatasetGB float64
+}
+
+// Validate checks the cloud profile.
+func (c CloudProfile) Validate() error {
+	if c.Instance.GPUs < 1 {
+		return fmt.Errorf("sim: worker instance %q has %d GPUs", c.Instance.Name, c.Instance.GPUs)
+	}
+	if c.DatasetGB < 0 {
+		return fmt.Errorf("sim: negative dataset size")
+	}
+	return c.Pricing.Validate()
+}
+
+// DefaultCloudProfile returns p3.8xlarge workers with the paper's default
+// pricing and overheads.
+func DefaultCloudProfile() CloudProfile {
+	it, err := cloud.DefaultCatalog().Lookup("p3.8xlarge")
+	if err != nil {
+		panic(err) // static data; unreachable
+	}
+	return CloudProfile{
+		Instance:  it,
+		Pricing:   cloud.DefaultPricing(),
+		Overheads: cloud.DefaultOverheads(),
+	}
+}
+
+// sumIters returns the distribution of the total latency of n i.i.d.
+// iterations drawn from d. Normal and deterministic iteration latencies
+// collapse analytically (sum of n normals is N(nμ, √n·σ)), which keeps
+// simulation cost independent of iteration counts; other distributions
+// fall back to drawing n samples per evaluation.
+func sumIters(d stats.Dist, n int) stats.Dist {
+	if n < 0 {
+		panic("sim: negative iteration count")
+	}
+	switch v := d.(type) {
+	case stats.Deterministic:
+		return stats.Deterministic{Value: float64(n) * v.Value}
+	case stats.Normal:
+		return normalSum{mu: float64(n) * v.Mu, sigma: math.Sqrt(float64(n)) * v.Sigma}
+	default:
+		return iterSum{d: d, n: n}
+	}
+}
+
+type normalSum struct{ mu, sigma float64 }
+
+func (s normalSum) Sample(r *stats.RNG) float64 {
+	v := s.mu + s.sigma*r.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+func (s normalSum) Mean() float64  { return s.mu }
+func (s normalSum) String() string { return fmt.Sprintf("normalSum(mu=%g, sigma=%g)", s.mu, s.sigma) }
+
+type iterSum struct {
+	d stats.Dist
+	n int
+}
+
+func (s iterSum) Sample(r *stats.RNG) float64 {
+	var sum float64
+	for i := 0; i < s.n; i++ {
+		sum += s.d.Sample(r)
+	}
+	return sum
+}
+func (s iterSum) Mean() float64  { return float64(s.n) * s.d.Mean() }
+func (s iterSum) String() string { return fmt.Sprintf("sum(%d x %s)", s.n, s.d) }

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/placement"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// Estimate is the simulator's prediction for one plan.
+type Estimate struct {
+	// JCT is the expected job completion time in seconds, and JCTStd its
+	// sample standard deviation across Monte-Carlo draws.
+	JCT, JCTStd float64
+	// Cost is the expected total dollar cost (compute plus data ingress)
+	// and CostStd its standard deviation.
+	Cost, CostStd float64
+}
+
+// Simulator predicts JCT and cost for allocation plans over one job.
+// Construct with New; the zero value is not usable.
+type Simulator struct {
+	spec    *spec.ExperimentSpec
+	profile TrainProfile
+	cloud   CloudProfile
+	samples int
+	rng     *stats.RNG
+}
+
+// DefaultSamples is the Monte-Carlo sample count used when the caller does
+// not override it. The paper keeps this small by default so that plans are
+// generated quickly (§5).
+const DefaultSamples = 20
+
+// New returns a simulator for the given job. samples <= 0 selects
+// DefaultSamples.
+func New(s *spec.ExperimentSpec, profile TrainProfile, cp CloudProfile, samples int, rng *stats.RNG) (*Simulator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("sim: nil train profile")
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	if rng == nil {
+		rng = stats.NewRNG(0)
+	}
+	return &Simulator{spec: s, profile: profile, cloud: cp, samples: samples, rng: rng}, nil
+}
+
+// Spec returns the simulated job's specification.
+func (s *Simulator) Spec() *spec.ExperimentSpec { return s.spec }
+
+// Cloud returns the simulator's cloud profile.
+func (s *Simulator) Cloud() CloudProfile { return s.cloud }
+
+// buildResult carries the DAG along with the stage metadata the cost model
+// needs to replay a sampled schedule against the billing rules.
+type buildResult struct {
+	graph *dag.Graph
+	// syncID[i] is the node ID of stage i's SYNC barrier.
+	syncID []int
+	// scaleID[i] is the node ID of the SCALE request issued before stage
+	// i, or -1 if the stage needed no scale-up.
+	scaleID []int
+	// instances[i] is the cluster size (instance count) during stage i.
+	instances []int
+	// trainIDs[i] lists stage i's TRAIN node IDs.
+	trainIDs [][]int
+}
+
+// BuildDAG synthesizes the execution DAG for a plan (§4.2, Figure 7):
+// per stage, an optional blocking SCALE node plus parallel INIT_INSTANCE
+// nodes if the cluster must grow, parallel TRAIN nodes (chained serially
+// when the stage has fewer GPUs than trials), and a closing SYNC barrier
+// that the next stage extends from. Deprovisioning is a zero-latency,
+// zero-cost event and is not represented (it is accounted for by the cost
+// model's per-stage instance counts).
+func (s *Simulator) BuildDAG(p Plan) (*dag.Graph, error) {
+	b, err := s.build(p)
+	if err != nil {
+		return nil, err
+	}
+	return b.graph, nil
+}
+
+func (s *Simulator) build(p Plan) (*buildResult, error) {
+	if err := p.Validate(s.spec.NumStages()); err != nil {
+		return nil, err
+	}
+	g := dag.New()
+	b := &buildResult{graph: g}
+	gpn := s.cloud.Instance.GPUs
+
+	curInstances := 0
+	frontier := []int(nil) // node IDs the next stage depends on
+	trial0 := 0            // global index of the stage's first trial
+	for i := 0; i < s.spec.NumStages(); i++ {
+		st := s.spec.Stage(i)
+		alloc := p.Alloc[i]
+		// Size the cluster the way the placement controller will pack it
+		// (co-located trials), so predicted instance counts — and
+		// therefore per-instance cost — match execution.
+		var need int
+		if alloc >= st.Trials {
+			need = placement.NodesNeeded(st.Trials, alloc/st.Trials, gpn)
+		} else {
+			need = placement.NodesNeeded(alloc, 1, gpn)
+		}
+
+		scaleID := -1
+		stageDeps := frontier
+		if need > curInstances {
+			scale := g.AddNode(dag.Scale, i, -1, 0, s.cloud.Overheads.QueueDelay, frontier...)
+			scaleID = scale.ID
+			inits := make([]int, 0, need-curInstances)
+			for k := curInstances; k < need; k++ {
+				init := g.AddNode(dag.InitInstance, i, -1, 0, s.cloud.Overheads.InitLatency, scale.ID)
+				inits = append(inits, init.ID)
+			}
+			// Training can begin only when both the previous stage is
+			// complete and the new instances are ready.
+			stageDeps = append(append([]int(nil), frontier...), inits...)
+		}
+		curInstances = need
+		b.scaleID = append(b.scaleID, scaleID)
+		b.instances = append(b.instances, need)
+
+		var trains []int
+		if alloc >= st.Trials {
+			per := alloc / st.Trials
+			trainDist := sumIters(s.profile.IterDist(per), st.Iters)
+			for tr := 0; tr < st.Trials; tr++ {
+				n := g.AddNode(dag.Train, i, trial0+tr, per, trainDist, stageDeps...)
+				trains = append(trains, n.ID)
+			}
+		} else {
+			// Fewer GPUs than trials: single-GPU slots with queued
+			// trials chained serially behind them.
+			trainDist := sumIters(s.profile.IterDist(1), st.Iters)
+			slotTail := make([]int, alloc) // last node ID per slot
+			for k := range slotTail {
+				slotTail[k] = -1
+			}
+			for tr := 0; tr < st.Trials; tr++ {
+				slot := tr % alloc
+				deps := stageDeps
+				if slotTail[slot] >= 0 {
+					deps = []int{slotTail[slot]}
+				}
+				n := g.AddNode(dag.Train, i, trial0+tr, 1, trainDist, deps...)
+				slotTail[slot] = n.ID
+				trains = append(trains, n.ID)
+			}
+		}
+		b.trainIDs = append(b.trainIDs, trains)
+
+		sync := g.AddNode(dag.Sync, i, -1, 0, stats.Deterministic{Value: 0}, trains...)
+		b.syncID = append(b.syncID, sync.ID)
+		frontier = []int{sync.ID}
+		trial0 += st.Trials
+	}
+	return b, nil
+}
+
+// Estimate predicts JCT and cost for the plan by sampling the execution
+// DAG s.samples times and pricing each sampled schedule.
+func (s *Simulator) Estimate(p Plan) (Estimate, error) {
+	b, err := s.build(p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	jcts := make([]float64, s.samples)
+	costs := make([]float64, s.samples)
+	for k := 0; k < s.samples; k++ {
+		timings, makespan := b.graph.Sample(s.rng)
+		jcts[k] = makespan
+		costs[k] = s.priceSchedule(b, timings, makespan)
+	}
+	js, cs := stats.Summarize(jcts), stats.Summarize(costs)
+	return Estimate{JCT: js.Mean, JCTStd: js.Std, Cost: cs.Mean, CostStd: cs.Std}, nil
+}
+
+// priceSchedule prices one sampled schedule under the cloud profile's
+// billing model.
+func (s *Simulator) priceSchedule(b *buildResult, timings []dag.Timing, makespan float64) float64 {
+	pr := s.cloud.Pricing
+	it := s.cloud.Instance
+
+	// Data ingress: charged once per instance ever provisioned. Under a
+	// LIFO deprovisioning discipline the total number of instances ever
+	// provisioned is the running maximum of the per-stage counts.
+	maxInstances := 0
+	for _, c := range b.instances {
+		if c > maxInstances {
+			maxInstances = c
+		}
+	}
+	total := float64(maxInstances) * pr.DataIngressCost(s.cloud.DatasetGB)
+
+	if pr.Billing == cloud.PerFunction {
+		// Charge only GPU time actually consumed by training tasks.
+		for _, stageTrains := range b.trainIDs {
+			for _, id := range stageTrains {
+				n := b.graph.Node(id)
+				dur := timings[id].Finish - timings[id].Start
+				total += dur * float64(n.GPUs) * it.PricePerGPUSecond(pr.Market)
+			}
+		}
+		return total
+	}
+
+	// Per-instance billing: replay instance lifetimes. Stage i runs
+	// instances[i] machines from the end of the previous SYNC to the end
+	// of its own SYNC; growth provisions new machines whose billing
+	// starts when the stage's SCALE request is serviced; shrinkage
+	// deprovisions the most recently added machines (LIFO) at the stage
+	// boundary.
+	type life struct{ birth float64 }
+	var alive []life
+	var cost float64
+	stageStart := 0.0
+	for i := range b.instances {
+		want := b.instances[i]
+		if want > len(alive) {
+			birth := stageStart
+			if b.scaleID[i] >= 0 {
+				birth = timings[b.scaleID[i]].Finish // after queueing
+			}
+			for len(alive) < want {
+				alive = append(alive, life{birth: birth})
+			}
+		} else {
+			for len(alive) > want {
+				in := alive[len(alive)-1]
+				alive = alive[:len(alive)-1]
+				cost += s.instanceCharge(in.birth, stageStart)
+			}
+		}
+		stageStart = timings[b.syncID[i]].Finish
+	}
+	for _, in := range alive {
+		cost += s.instanceCharge(in.birth, makespan)
+	}
+	return total + cost
+}
+
+// instanceCharge bills one instance held from birth to death.
+func (s *Simulator) instanceCharge(birth, death float64) float64 {
+	lifetime := death - birth
+	if lifetime < 0 {
+		lifetime = 0
+	}
+	if lifetime < s.cloud.Pricing.MinChargeSeconds {
+		lifetime = s.cloud.Pricing.MinChargeSeconds
+	}
+	return lifetime / 3600 * s.cloud.Instance.PricePerHour(s.cloud.Pricing.Market)
+}
+
+// MeanIterLatency returns the profile's expected iteration latency at the
+// given per-trial allocation — a convenience for planners sizing warm
+// starts.
+func (s *Simulator) MeanIterLatency(gpus int) float64 {
+	return s.profile.IterDist(gpus).Mean()
+}
+
+// StaticClusterJCT is a quick analytic lower-bound estimate of a static
+// plan's JCT using mean latencies only (no straggler inflation); used for
+// bracketing enumeration ranges, not for plan selection.
+func (s *Simulator) StaticClusterJCT(gpus int) float64 {
+	var total float64
+	for i := 0; i < s.spec.NumStages(); i++ {
+		st := s.spec.Stage(i)
+		if gpus >= st.Trials {
+			per := gpus / st.Trials
+			total += float64(st.Iters) * s.MeanIterLatency(per)
+		} else {
+			waves := math.Ceil(float64(st.Trials) / float64(gpus))
+			total += waves * float64(st.Iters) * s.MeanIterLatency(1)
+		}
+	}
+	return total
+}

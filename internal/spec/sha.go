@@ -1,0 +1,129 @@
+package spec
+
+import "fmt"
+
+// SHAParams are the Successive Halving parameters used throughout the
+// paper's evaluation: SHA(n, r, R, η).
+type SHAParams struct {
+	// N is the number of initial trials.
+	N int
+	// R is the minimum per-trial work (iterations) assigned in the first
+	// stage.
+	R int
+	// MaxR is the maximum cumulative work assigned to at least one trial.
+	MaxR int
+	// Eta is the termination rate: the top 1/Eta of trials survive each
+	// stage while per-trial work grows by Eta. The paper fixes Eta = 2
+	// unless stated otherwise.
+	Eta int
+}
+
+// Validate checks the parameters.
+func (p SHAParams) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("spec: SHA n = %d", p.N)
+	}
+	if p.R <= 0 {
+		return fmt.Errorf("spec: SHA r = %d", p.R)
+	}
+	if p.MaxR < p.R {
+		return fmt.Errorf("spec: SHA R = %d < r = %d", p.MaxR, p.R)
+	}
+	if p.Eta < 2 {
+		return fmt.Errorf("spec: SHA eta = %d (need >= 2)", p.Eta)
+	}
+	return nil
+}
+
+// SHA generates a Successive Halving experiment specification.
+//
+// Stage k (0-based) runs max(1, ⌊n/η^k⌋) trials, and assigns each
+// surviving trial r·η^k incremental iterations; the final stage — reached
+// when one trial remains or the work budget runs out — is sized so the
+// survivor's cumulative work is exactly R. This matches the schedule the
+// paper reports in Table 3 for SHA(n=32, r=1, R=50, η=3): trial counts
+// 32 → 10 → 3 → 1 over epoch boundaries 1, 4, 13, 50.
+func SHA(p SHAParams) (*ExperimentSpec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := Empty()
+	cum := 0
+	etaK := 1 // η^k
+	for cum < p.MaxR {
+		trials := p.N / etaK
+		if trials < 1 {
+			trials = 1
+		}
+		var inc int
+		if trials == 1 {
+			inc = p.MaxR - cum // train the survivor to the full budget
+		} else {
+			inc = p.R * etaK
+			if cum+inc > p.MaxR {
+				inc = p.MaxR - cum
+			}
+		}
+		if inc <= 0 {
+			break
+		}
+		s.AddStage(trials, inc)
+		cum += inc
+		if trials == 1 {
+			break
+		}
+		etaK *= p.Eta
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: SHA generated invalid spec: %w", err)
+	}
+	return s, nil
+}
+
+// MustSHA is SHA for static parameters; it panics on error.
+func MustSHA(n, r, maxR, eta int) *ExperimentSpec {
+	s, err := SHA(SHAParams{N: n, R: r, MaxR: maxR, Eta: eta})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Hyperband generates the bracket specifications of Hyperband(R, η): a
+// multi-job of s_max+1 Successive Halving brackets that trade off the
+// number of configurations against the per-configuration budget. Bracket s
+// starts n = ceil((s_max+1)/(s+1) · η^s) trials at an initial budget of
+// R/η^s iterations. The brackets are returned most-aggressive first
+// (largest s), matching the usual presentation.
+func Hyperband(maxR, eta int) ([]*ExperimentSpec, error) {
+	if maxR <= 0 {
+		return nil, fmt.Errorf("spec: Hyperband R = %d", maxR)
+	}
+	if eta < 2 {
+		return nil, fmt.Errorf("spec: Hyperband eta = %d (need >= 2)", eta)
+	}
+	sMax := 0
+	for pow := 1; pow*eta <= maxR; pow *= eta {
+		sMax++
+	}
+	var brackets []*ExperimentSpec
+	for s := sMax; s >= 0; s-- {
+		etaS := 1
+		for i := 0; i < s; i++ {
+			etaS *= eta
+		}
+		n := ceilDiv((sMax+1)*etaS, s+1)
+		r := maxR / etaS
+		if r < 1 {
+			r = 1
+		}
+		b, err := SHA(SHAParams{N: n, R: r, MaxR: maxR, Eta: eta})
+		if err != nil {
+			return nil, fmt.Errorf("spec: Hyperband bracket s=%d: %w", s, err)
+		}
+		brackets = append(brackets, b)
+	}
+	return brackets, nil
+}

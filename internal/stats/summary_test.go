@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Std != 0 || s.Min != 5 || s.Max != 5 || s.P50 != 5 {
+		t.Fatalf("unexpected: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Errorf("mean %v != 3", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std %v != sqrt(2.5)", s.Std)
+	}
+	if s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("order stats wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if p := Percentile(sorted, 0.5); p != 5 {
+		t.Errorf("p50 of {0,10} = %v, want 5", p)
+	}
+	if p := Percentile(sorted, 0); p != 0 {
+		t.Errorf("p0 = %v, want 0", p)
+	}
+	if p := Percentile(sorted, 1); p != 10 {
+		t.Errorf("p100 = %v, want 10", p)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"empty", func() { Percentile(nil, 0.5) }},
+		{"p<0", func() { Percentile([]float64{1}, -0.1) }},
+		{"p>1", func() { Percentile([]float64{1}, 1.1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 6})
+	if m != 4 {
+		t.Errorf("mean %v != 4", m)
+	}
+	if math.Abs(s-2) > 1e-12 {
+		t.Errorf("std %v != 2", s)
+	}
+}
+
+// Property: Min <= P50 <= Max and Min <= Mean <= Max for any input.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		sort.Float64s(xs)
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 0, Kind: KindStageStart, Stage: 0, Trial: -1},
+		{At: 0, Kind: KindTrialStart, Stage: 0, Trial: 0},
+		{At: 0, Kind: KindTrialStart, Stage: 0, Trial: 1},
+		{At: 5, Kind: KindTrialIter, Stage: 0, Trial: 0},
+		{At: 6, Kind: KindTrialIter, Stage: 0, Trial: 1},
+		{At: 10, Kind: KindTrialDone, Stage: 0, Trial: 0},
+		{At: 12, Kind: KindTrialDone, Stage: 0, Trial: 1},
+		{At: 12, Kind: KindTrialKill, Stage: 0, Trial: 1},
+		{At: 12, Kind: KindStageEnd, Stage: 0, Trial: -1},
+		{At: 12, Kind: KindStageStart, Stage: 1, Trial: -1},
+		{At: 13, Kind: KindRestore, Stage: 1, Trial: 0},
+		{At: 13, Kind: KindTrialStart, Stage: 1, Trial: 0},
+		{At: 30, Kind: KindTrialDone, Stage: 1, Trial: 0},
+		{At: 30, Kind: KindStageEnd, Stage: 1, Trial: -1},
+	}
+}
+
+func TestStageBreakdown(t *testing.T) {
+	stages := StageBreakdown(sampleEvents())
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	s0 := stages[0]
+	if s0.Stage != 0 || s0.Duration() != 12 {
+		t.Errorf("stage 0 = %+v", s0)
+	}
+	if s0.TrialStarts != 2 || s0.Kills != 1 || s0.Iterations != 2 {
+		t.Errorf("stage 0 counts = %+v", s0)
+	}
+	s1 := stages[1]
+	if s1.Duration() != 18 || s1.Restores != 1 || s1.TrialStarts != 1 {
+		t.Errorf("stage 1 = %+v", s1)
+	}
+}
+
+func TestStageBreakdownEmpty(t *testing.T) {
+	if got := StageBreakdown(nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTrialSpans(t *testing.T) {
+	spans := TrialSpans(sampleEvents())
+	if len(spans) != 3 {
+		t.Fatalf("spans = %v", spans)
+	}
+	// First span: trial 0 in stage 0, 0..10.
+	if spans[0].Trial != 0 || spans[0].Stage != 0 ||
+		spans[0].Start != 0 || spans[0].End != 10 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	// Trial 0 contributes a second span in stage 1.
+	last := spans[len(spans)-1]
+	if last.Trial != 0 || last.Stage != 1 || last.End != 30 {
+		t.Errorf("last span = %+v", last)
+	}
+}
+
+func TestTrialSpansRestart(t *testing.T) {
+	// A trial restarted mid-stage (preemption) yields two spans.
+	events := []Event{
+		{At: 0, Kind: KindTrialStart, Stage: 0, Trial: 3},
+		{At: 4, Kind: KindTrialPause, Stage: 0, Trial: 3}, // preempted
+		{At: 6, Kind: KindTrialStart, Stage: 0, Trial: 3},
+		{At: 15, Kind: KindTrialDone, Stage: 0, Trial: 3},
+	}
+	spans := TrialSpans(events)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].End != 4 || spans[1].Start != 6 || spans[1].End != 15 {
+		t.Errorf("spans = %v", spans)
+	}
+}
+
+func TestWriteGanttCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGanttCSV(&buf, TrialSpans(sampleEvents())); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 spans
+		t.Fatalf("csv = %q", buf.String())
+	}
+	if lines[0] != "trial,stage,start,end" {
+		t.Errorf("header = %q", lines[0])
+	}
+}

@@ -1,0 +1,120 @@
+// Package trace records typed execution events and resource timelines
+// during an experiment run, for post-hoc analysis (utilization, cost
+// curves, Table 3-style schedules) and debugging.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/vclock"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the executor and cluster manager.
+const (
+	KindStageStart   Kind = "stage_start"
+	KindStageEnd     Kind = "stage_end"
+	KindTrialStart   Kind = "trial_start"
+	KindTrialIter    Kind = "trial_iter"
+	KindTrialPause   Kind = "trial_pause"
+	KindTrialKill    Kind = "trial_kill"
+	KindTrialDone    Kind = "trial_done"
+	KindScaleUp      Kind = "scale_up"
+	KindScaleDown    Kind = "scale_down"
+	KindNodeReady    Kind = "node_ready"
+	KindCheckpoint   Kind = "checkpoint"
+	KindRestore      Kind = "restore"
+	KindProfilePoint Kind = "profile_point"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At    vclock.Time `json:"at"`
+	Kind  Kind        `json:"kind"`
+	Stage int         `json:"stage"`
+	Trial int         `json:"trial"`
+	Note  string      `json:"note,omitempty"`
+}
+
+// Recorder accumulates events and GPU-usage accounting. The zero value is
+// ready to use; a nil *Recorder is also valid and discards everything, so
+// callers need no nil checks.
+type Recorder struct {
+	events []Event
+	// busyGPUSeconds accumulates task-occupied GPU time, for utilization.
+	busyGPUSeconds float64
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends an event. No-op on a nil recorder.
+func (r *Recorder) Record(at vclock.Time, kind Kind, stage, trial int, note string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: kind, Stage: stage, Trial: trial, Note: note})
+}
+
+// AddBusy accumulates gpuSeconds of productive GPU time.
+func (r *Recorder) AddBusy(gpuSeconds float64) {
+	if r == nil {
+		return
+	}
+	r.busyGPUSeconds += gpuSeconds
+}
+
+// BusyGPUSeconds returns the accumulated productive GPU time. Zero on nil.
+func (r *Recorder) BusyGPUSeconds() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.busyGPUSeconds
+}
+
+// Events returns a copy of the recorded events in order. Nil on a nil
+// recorder.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return append([]Event(nil), r.events...)
+}
+
+// Count returns the number of events with the given kind.
+func (r *Recorder) Count(kind Kind) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSON streams the events as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Events())
+}
+
+// WriteCSV streams the events as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at,kind,stage,trial,note"); err != nil {
+		return err
+	}
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%.3f,%s,%d,%d,%q\n",
+			float64(e.At), e.Kind, e.Stage, e.Trial, e.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndCount(t *testing.T) {
+	r := New()
+	r.Record(1, KindStageStart, 0, -1, "s0")
+	r.Record(2, KindTrialIter, 0, 3, "")
+	r.Record(3, KindTrialIter, 0, 4, "")
+	if got := r.Count(KindTrialIter); got != 2 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := r.Count(KindScaleUp); got != 0 {
+		t.Fatalf("Count = %d", got)
+	}
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].Note != "s0" || ev[1].Trial != 3 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestEventsCopied(t *testing.T) {
+	r := New()
+	r.Record(1, KindStageStart, 0, -1, "")
+	ev := r.Events()
+	ev[0].Stage = 99
+	if r.Events()[0].Stage != 0 {
+		t.Fatal("Events exposed internal slice")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, KindStageStart, 0, 0, "")
+	r.AddBusy(5)
+	if r.BusyGPUSeconds() != 0 || r.Events() != nil || r.Count(KindStageStart) != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	r := New()
+	r.AddBusy(2.5)
+	r.AddBusy(1.5)
+	if r.BusyGPUSeconds() != 4 {
+		t.Fatalf("busy = %v", r.BusyGPUSeconds())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := New()
+	r.Record(1.5, KindCheckpoint, 2, 7, "ok")
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Kind != KindCheckpoint || back[0].Trial != 7 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New()
+	r.Record(1.25, KindTrialDone, 1, 2, "note,with,commas")
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv = %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "at,kind") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"note,with,commas"`) {
+		t.Fatalf("note not quoted: %q", lines[1])
+	}
+}

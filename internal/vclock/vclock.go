@@ -1,0 +1,210 @@
+// Package vclock implements a deterministic discrete-event simulation
+// kernel with a virtual clock.
+//
+// RubberBand's end-to-end experiments execute the real control plane —
+// scheduler, placement controller, cluster manager — against a simulated
+// cloud. Package vclock supplies the time substrate: an event heap ordered
+// by (time, sequence) so that ties break deterministically in scheduling
+// order, and a Run loop that advances virtual time to each event.
+//
+// Virtual time is expressed in float64 seconds. The kernel is
+// single-threaded by design: callbacks run on the caller's goroutine, and
+// all state they touch needs no locking.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Duration converts t to a time.Duration for presentation at package
+// boundaries.
+func (t Time) Duration() time.Duration {
+	return time.Duration(float64(t) * float64(time.Second))
+}
+
+// String formats the time as mm:ss.mmm for logs.
+func (t Time) String() string {
+	total := float64(t)
+	m := int(total) / 60
+	s := total - float64(m*60)
+	return fmt.Sprintf("%02d:%06.3f", m, s)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fn   func()
+	done bool // cancelled
+	idx  int  // heap index
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event; Stop cancels it.
+type Timer struct {
+	c *Clock
+	e *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.done || t.e.idx < 0 {
+		return false
+	}
+	t.e.done = true
+	heap.Remove(&t.c.events, t.e.idx)
+	return true
+}
+
+// Clock is a virtual clock with an event queue. The zero value is ready to
+// use at time 0.
+type Clock struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+}
+
+// New returns a Clock at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (before Now) panics — it would mean causality violation in the simulation.
+func (c *Clock) At(at Time, fn func()) *Timer {
+	if at < c.now {
+		panic(fmt.Sprintf("vclock: scheduling at %v before now %v", at, c.now))
+	}
+	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		panic(fmt.Sprintf("vclock: invalid time %v", at))
+	}
+	e := &event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, e)
+	return &Timer{c: c, e: e}
+}
+
+// After schedules fn to run d seconds after the current time. Negative d
+// panics.
+func (c *Clock) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative delay %v", d))
+	}
+	return c.At(c.now+Time(d), fn)
+}
+
+// Pending returns the number of events still queued.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// Step pops and executes the earliest event, advancing Now to its time. It
+// reports whether an event was executed.
+func (c *Clock) Step() bool {
+	for len(c.events) > 0 {
+		e := heap.Pop(&c.events).(*event)
+		if e.done {
+			continue
+		}
+		c.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or until virtual time would
+// exceed horizon (events at exactly horizon still run). It returns the
+// number of events executed. A non-positive horizon means no limit.
+func (c *Clock) Run(horizon Time) int {
+	n := 0
+	for len(c.events) > 0 {
+		next := c.events[0]
+		if next.done {
+			heap.Pop(&c.events)
+			continue
+		}
+		if horizon > 0 && next.at > horizon {
+			break
+		}
+		c.Step()
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events while cond() remains false, stopping as soon as
+// cond() turns true (checked after each event) or the queue drains. It
+// reports whether cond was satisfied.
+func (c *Clock) RunUntil(cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	for c.Step() {
+		if cond() {
+			return true
+		}
+	}
+	return cond()
+}
+
+// Advance moves the clock forward by d seconds, executing any events that
+// fall within the window (including events at exactly the current time
+// when d is 0). It panics on negative d. Unlike Run, Advance is always
+// bounded — even at a target of 0 — so it is safe against self-renewing
+// event chains such as spot preemption with automatic replacement.
+func (c *Clock) Advance(d float64) {
+	if d < 0 {
+		panic("vclock: Advance with negative duration")
+	}
+	target := c.now + Time(d)
+	for len(c.events) > 0 {
+		next := c.events[0]
+		if next.done {
+			heap.Pop(&c.events)
+			continue
+		}
+		if next.at > target {
+			break
+		}
+		c.Step()
+	}
+	if c.now < target {
+		c.now = target
+	}
+}
