@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench experiments examples clean
+.PHONY: all build test test-race vet bench experiments examples repro clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	go build ./...
@@ -12,6 +12,16 @@ vet:
 
 test:
 	go test ./...
+
+# Race-detector pass over the packages that fan work across goroutines
+# (Monte-Carlo sampling, candidate evaluation, stream derivation).
+test-race:
+	go test -race -count=1 ./internal/sim ./internal/planner ./internal/stats ./internal/par
+
+# Deterministic reproducibility harness (see tools/repro/run.sh for the
+# RB_RUN_REPEATABILITY / RB_RUN_BENCH gates).
+repro:
+	sh tools/repro/run.sh
 
 # Full unit + integration suite with the outputs the repo records.
 record:

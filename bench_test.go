@@ -10,6 +10,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cloud"
@@ -160,6 +162,10 @@ func BenchmarkExtensionInstances(b *testing.B) {
 // --- micro-benchmarks of the hot paths ---
 
 func benchSimulator(b *testing.B, samples int) *sim.Simulator {
+	return benchSimulatorWorkers(b, samples, 0) // 0 = GOMAXPROCS
+}
+
+func benchSimulatorWorkers(b *testing.B, samples, workers int) *sim.Simulator {
 	b.Helper()
 	s := spec.MustSHA(64, 4, 508, 2)
 	prof := sim.ModelTrainProfile{Model: model.ResNet50(), Batch: 512, GPUsPerNode: 4}
@@ -168,11 +174,21 @@ func benchSimulator(b *testing.B, samples int) *sim.Simulator {
 		QueueDelay:  stats.Deterministic{Value: 5},
 		InitLatency: stats.Deterministic{Value: 15},
 	}
-	sm, err := sim.New(s, prof, cp, samples, stats.NewRNG(1))
+	sm, err := sim.New(s, prof, cp, samples, stats.NewRNG(1), sim.WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
 	return sm
+}
+
+// benchWorkerCounts returns the worker counts the parallel benchmarks
+// sweep: serial, and GOMAXPROCS when it adds parallelism.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
 }
 
 // BenchmarkSimEstimate measures one plan evaluation — the unit of work
@@ -223,6 +239,43 @@ func BenchmarkPlanElastic(b *testing.B) {
 		if _, err := p.PlanElastic(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSimEstimateWorkers measures the Monte-Carlo fan-out at a
+// planning-heavy sample count across worker counts; the estimate is
+// bit-identical at every setting, only wall-clock changes.
+func BenchmarkSimEstimateWorkers(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("samples=200/workers=%d", w), func(b *testing.B) {
+			sm := benchSimulatorWorkers(b, 200, w)
+			plan := sim.Uniform(32, sm.Spec().NumStages())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sm.Estimate(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanElastic100 measures a full greedy compilation at
+// samples=100 — the configuration the PR's speedup claim is recorded
+// against. A fresh Planner per iteration keeps the memo cache scoped to
+// one compilation, exactly as rbplan/rbsweep use it.
+func BenchmarkPlanElastic100(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sm := benchSimulatorWorkers(b, 100, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := &planner.Planner{Sim: sm, Deadline: 900, MaxGPUs: 128, Workers: w}
+				if _, err := p.PlanElastic(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		eta       = flag.Int("eta", 3, "SHA termination rate η")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		samples   = flag.Int("samples", 20, "simulator Monte-Carlo samples per plan")
+		workers   = flag.Int("workers", 0, "planning concurrency: Monte-Carlo and candidate-evaluation workers (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 		breakdown = flag.Bool("breakdown", false, "print the RubberBand plan's per-stage time/cost decomposition")
 	)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 			Policy:   policy,
 			Seed:     *seed,
 			Samples:  *samples,
+			Workers:  *workers,
 		}
 		res, _, err := exp.Plan()
 		if err != nil {
@@ -71,18 +73,18 @@ func main() {
 			policy, res.Plan.String(), res.Estimate.JCT, res.Estimate.Cost)
 
 		if *breakdown && policy == core.PolicyRubberBand {
-			printBreakdown(m, sha, *deadline, *seed, *samples, res.Plan)
+			printBreakdown(m, sha, *seed, *samples, *workers, res.Plan)
 		}
 	}
 }
 
 // printBreakdown re-simulates the chosen plan and prints its per-stage
 // decomposition.
-func printBreakdown(m *model.Model, sha *spec.ExperimentSpec, deadline time.Duration, seed uint64, samples int, plan sim.Plan) {
+func printBreakdown(m *model.Model, sha *spec.ExperimentSpec, seed uint64, samples, workers int, plan sim.Plan) {
 	cp := sim.DefaultCloudProfile()
 	cp.DatasetGB = m.Dataset.SizeGB
 	prof := sim.ModelTrainProfile{Model: m, Batch: m.BaseBatch, GPUsPerNode: cp.Instance.GPUs}
-	sm, err := sim.New(sha, prof, cp, samples, stats.NewRNG(seed+1))
+	sm, err := sim.New(sha, prof, cp, samples, stats.NewRNG(seed+1), sim.WithWorkers(workers))
 	if err != nil {
 		fatal(err)
 	}

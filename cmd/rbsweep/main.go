@@ -34,6 +34,7 @@ func main() {
 		steps     = flag.Int("steps", 7, "number of sweep points (inclusive of both ends)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		samples   = flag.Int("samples", 10, "simulator Monte-Carlo samples per plan")
+		workers   = flag.Int("workers", 0, "planning concurrency: Monte-Carlo and candidate-evaluation workers (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 		format    = flag.String("format", "text", "output format: text or csv")
 	)
 	flag.Parse()
@@ -73,6 +74,7 @@ func main() {
 			Deadline: deadline,
 			Seed:     *seed,
 			Samples:  *samples,
+			Workers:  *workers,
 		}
 		exp.Policy = core.PolicyStatic
 		st, _, err := exp.Plan()

@@ -85,6 +85,11 @@ type Experiment struct {
 	// Samples is the simulator's Monte-Carlo sample count (default
 	// sim.DefaultSamples).
 	Samples int
+	// Workers bounds the planning-time concurrency: both the simulator's
+	// Monte-Carlo sample fan-out and the planner's candidate evaluation
+	// pool. Zero selects GOMAXPROCS; 1 forces fully serial planning.
+	// Planning output is bit-identical at any worker count.
+	Workers int
 	// MaxGPUs caps cluster size during planning (default per planner).
 	MaxGPUs int
 	// UseProfiler plans from a measured scaling profile (powers-of-two
@@ -168,7 +173,7 @@ func (e *Experiment) buildPlanner() (*planner.Planner, float64, error) {
 	} else {
 		prof = sim.ModelTrainProfile{Model: e.Model, Batch: e.batch(), GPUsPerNode: cp.Instance.GPUs}
 	}
-	sm, err := sim.New(e.Spec, prof, cp, e.Samples, stats.NewRNG(e.Seed+1))
+	sm, err := sim.New(e.Spec, prof, cp, e.Samples, stats.NewRNG(e.Seed+1), sim.WithWorkers(e.Workers))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -176,6 +181,7 @@ func (e *Experiment) buildPlanner() (*planner.Planner, float64, error) {
 		Sim:      sm,
 		Deadline: e.Deadline.Seconds(),
 		MaxGPUs:  e.MaxGPUs,
+		Workers:  e.Workers,
 	}, profTime, nil
 }
 

@@ -144,7 +144,21 @@ type Timing struct {
 // starts at the max finish time of its dependencies. It returns per-node
 // timings and the makespan. An empty graph has zero makespan.
 func (g *Graph) Sample(r *stats.RNG) ([]Timing, float64) {
-	timings := make([]Timing, len(g.nodes))
+	return g.SampleInto(r, nil)
+}
+
+// SampleInto is Sample with a caller-provided scratch buffer: buf is
+// reused when it has sufficient capacity, otherwise a fresh slice is
+// allocated. The returned slice aliases buf when reused, so callers must
+// not retain timings from an earlier draw across calls. Monte-Carlo loops
+// use this to sample allocation-free after the first draw.
+func (g *Graph) SampleInto(r *stats.RNG, buf []Timing) ([]Timing, float64) {
+	var timings []Timing
+	if cap(buf) >= len(g.nodes) {
+		timings = buf[:len(g.nodes)]
+	} else {
+		timings = make([]Timing, len(g.nodes))
+	}
 	var makespan float64
 	for i, n := range g.nodes {
 		start := 0.0

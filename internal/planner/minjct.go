@@ -3,6 +3,7 @@ package planner
 import (
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -25,19 +26,26 @@ func (p *Planner) PlanMinJCT(budget float64) (Result, error) {
 	}
 	stages := p.Sim.Spec().NumStages()
 
-	// Warm start: the fastest static allocation within budget.
+	// Warm start: the fastest static allocation within budget. Sizes are
+	// evaluated concurrently and reduced in ascending order, matching the
+	// serial enumeration exactly.
+	n := p.maxGPUs()
+	ests := make([]sim.Estimate, n)
+	errs := make([]error, n)
+	par.ForEach(n, par.Workers(p.Workers), func(i int) {
+		ests[i], errs[i] = p.estimate(sim.Uniform(i+1, stages))
+	})
 	best := Result{}
 	found := false
-	for g := 1; g <= p.maxGPUs(); g++ {
-		est, err := p.Sim.Estimate(sim.Uniform(g, stages))
-		if err != nil {
-			return Result{}, err
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return Result{}, errs[i]
 		}
-		if est.Cost > budget {
+		if ests[i].Cost > budget {
 			continue
 		}
-		if !found || est.JCT < best.Estimate.JCT {
-			best = Result{Plan: sim.Uniform(g, stages), Estimate: est}
+		if !found || ests[i].JCT < best.Estimate.JCT {
+			best = Result{Plan: sim.Uniform(i+1, stages), Estimate: ests[i]}
 			found = true
 		}
 	}
@@ -51,14 +59,19 @@ func (p *Planner) PlanMinJCT(budget float64) (Result, error) {
 		if len(cands) == 0 {
 			break
 		}
+		candEsts := make([]sim.Estimate, len(cands))
+		candErrs := make([]error, len(cands))
+		par.ForEach(len(cands), par.Workers(p.Workers), func(i int) {
+			candEsts[i], candErrs[i] = p.estimate(cands[i])
+		})
 		bestIdx := -1
 		bestBenefit := math.Inf(-1)
 		var bestEst sim.Estimate
-		for i, cand := range cands {
-			est, err := p.Sim.Estimate(cand)
-			if err != nil {
-				return Result{}, err
+		for i := range cands {
+			if candErrs[i] != nil {
+				return Result{}, candErrs[i]
 			}
+			est := candEsts[i]
 			if est.Cost > budget {
 				continue
 			}

@@ -21,7 +21,10 @@ package planner
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/spec"
 )
@@ -59,6 +62,48 @@ type Planner struct {
 	// reduction instead of Equation 1's JCT-normalized marginal benefit;
 	// exposed for the design-choice ablation.
 	RawCostSelection bool
+	// Workers bounds the goroutines that evaluate candidate plans
+	// concurrently (independent of the simulator's own Monte-Carlo worker
+	// pool). Zero selects GOMAXPROCS; 1 forces serial evaluation. Because
+	// sim.Estimate is a pure function of the plan and every selection
+	// reduces in fixed candidate order, results are bit-identical at any
+	// worker count.
+	Workers int
+
+	// memo caches plan evaluations across the whole search, keyed by the
+	// plan's canonical string, so the greedy loop never re-simulates an
+	// allocation it has already scored (successive iterations share most
+	// of their candidate sets, as do overlapping warm-start descents).
+	memoMu sync.Mutex
+	memo   map[string]sim.Estimate
+	// estCalls counts estimate() invocations (hits + misses), for the
+	// search-efficiency diagnostics exposed by EstimateCalls/MemoLen.
+	estCalls int64
+}
+
+// estimate evaluates a plan through the memo cache. Concurrent callers may
+// race to fill the same entry; that is benign because Estimate is pure —
+// both compute the identical value.
+func (p *Planner) estimate(plan sim.Plan) (sim.Estimate, error) {
+	atomic.AddInt64(&p.estCalls, 1)
+	key := plan.String()
+	p.memoMu.Lock()
+	est, ok := p.memo[key]
+	p.memoMu.Unlock()
+	if ok {
+		return est, nil
+	}
+	est, err := p.Sim.Estimate(plan)
+	if err != nil {
+		return sim.Estimate{}, err
+	}
+	p.memoMu.Lock()
+	if p.memo == nil {
+		p.memo = make(map[string]sim.Estimate)
+	}
+	p.memo[key] = est
+	p.memoMu.Unlock()
+	return est, nil
 }
 
 // ErrInfeasible is returned when no plan within MaxGPUs meets the deadline.
@@ -101,30 +146,41 @@ func (p *Planner) validate() error {
 
 // PlanStatic finds the cost-optimal static allocation meeting the
 // deadline by one-dimensional enumeration (the warm-start procedure of
-// §4.3 and the paper's fixed-cluster baseline).
+// §4.3 and the paper's fixed-cluster baseline). Cluster sizes are
+// evaluated concurrently and reduced in ascending order, so the result
+// matches the serial enumeration exactly (ties go to the smallest
+// cluster).
 func (p *Planner) PlanStatic() (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
 	stages := p.Sim.Spec().NumStages()
-	best := Result{}
-	found := false
-	for g := 1; g <= p.maxGPUs(); g++ {
+	n := p.maxGPUs()
+	ests := make([]sim.Estimate, n)
+	oks := make([]bool, n)
+	errs := make([]error, n)
+	par.ForEach(n, par.Workers(p.Workers), func(i int) {
+		g := i + 1
 		// The analytic mean JCT ignores provisioning overheads and
 		// straggler inflation, so it lower-bounds the estimate: anything
 		// already over the deadline cannot become feasible.
 		if p.Sim.StaticClusterJCT(g) > p.Deadline {
+			return
+		}
+		ests[i], errs[i] = p.estimate(sim.Uniform(g, stages))
+		oks[i] = errs[i] == nil
+	})
+	best := Result{}
+	found := false
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return Result{}, errs[i]
+		}
+		if !oks[i] || ests[i].JCT > p.Deadline {
 			continue
 		}
-		est, err := p.Sim.Estimate(sim.Uniform(g, stages))
-		if err != nil {
-			return Result{}, err
-		}
-		if est.JCT > p.Deadline {
-			continue
-		}
-		if !found || est.Cost < best.Estimate.Cost {
-			best = Result{Plan: sim.Uniform(g, stages), Estimate: est}
+		if !found || ests[i].Cost < best.Estimate.Cost {
+			best = Result{Plan: sim.Uniform(i+1, stages), Estimate: ests[i]}
 			found = true
 		}
 	}
@@ -144,23 +200,32 @@ func (p *Planner) PlanNaiveElastic() (Result, error) {
 		return Result{}, err
 	}
 	sp := p.Sim.Spec()
+	// k ranges over per-trial multipliers that keep the peak cluster within
+	// the cap; k = 1 is always considered, mirroring the serial loop.
+	kMax := p.maxGPUs() / sp.TotalTrials()
+	if kMax < 1 {
+		kMax = 1
+	}
+	plans := make([]sim.Plan, kMax)
+	ests := make([]sim.Estimate, kMax)
+	errs := make([]error, kMax)
+	par.ForEach(kMax, par.Workers(p.Workers), func(i int) {
+		k := i + 1
+		alloc := make([]int, sp.NumStages())
+		for j := range alloc {
+			alloc[j] = sp.Stage(j).Trials * k
+		}
+		plans[i] = sim.Plan{Alloc: alloc}
+		ests[i], errs[i] = p.estimate(plans[i])
+	})
 	best := Result{}
 	found := false
-	for k := 1; ; k++ {
-		if sp.TotalTrials()*k > p.maxGPUs() && k > 1 {
-			break
+	for i := 0; i < kMax; i++ {
+		if errs[i] != nil {
+			return Result{}, errs[i]
 		}
-		alloc := make([]int, sp.NumStages())
-		for i := range alloc {
-			alloc[i] = sp.Stage(i).Trials * k
-		}
-		plan := sim.Plan{Alloc: alloc}
-		est, err := p.Sim.Estimate(plan)
-		if err != nil {
-			return Result{}, err
-		}
-		if est.JCT <= p.Deadline && (!found || est.Cost < best.Estimate.Cost) {
-			best = Result{Plan: plan, Estimate: est}
+		if ests[i].JCT <= p.Deadline && (!found || ests[i].Cost < best.Estimate.Cost) {
+			best = Result{Plan: plans[i], Estimate: ests[i]}
 			found = true
 		}
 	}
@@ -191,7 +256,7 @@ func (p *Planner) PlanElastic() (Result, error) {
 				warm.Alloc[i] = p.maxGPUs()
 			}
 		}
-		warmEst, err := p.Sim.Estimate(warm)
+		warmEst, err := p.estimate(warm)
 		if err != nil {
 			return Result{}, err
 		}
@@ -213,7 +278,10 @@ func (p *Planner) PlanElastic() (Result, error) {
 	return best, nil
 }
 
-// optimize is the greedy descent of Algorithm 2.
+// optimize is the greedy descent of Algorithm 2. Each iteration evaluates
+// the candidate set concurrently (memoized, so candidates shared with
+// earlier iterations cost nothing) and then selects the winner serially in
+// candidate order, keeping the descent deterministic at any worker count.
 func (p *Planner) optimize(start Result) (Result, error) {
 	cur := start
 	for {
@@ -225,14 +293,19 @@ func (p *Planner) optimize(start Result) (Result, error) {
 		if len(cands) == 0 {
 			return cur, nil
 		}
+		ests := make([]sim.Estimate, len(cands))
+		errs := make([]error, len(cands))
+		par.ForEach(len(cands), par.Workers(p.Workers), func(i int) {
+			ests[i], errs[i] = p.estimate(cands[i])
+		})
 		bestIdx := -1
 		bestBenefit := math.Inf(-1)
 		var bestEst sim.Estimate
-		for i, cand := range cands {
-			est, err := p.Sim.Estimate(cand)
-			if err != nil {
-				return Result{}, err
+		for i := range cands {
+			if errs[i] != nil {
+				return Result{}, errs[i]
 			}
+			est := ests[i]
 			if est.JCT > p.Deadline {
 				continue
 			}
@@ -332,3 +405,17 @@ func fairFloor(max, trials int) (int, bool) {
 	}
 	return 0, false
 }
+
+// MemoLen reports the number of distinct plans the search has simulated so
+// far; together with EstimateCalls it quantifies how much work the memo
+// cache saved.
+func (p *Planner) MemoLen() int {
+	p.memoMu.Lock()
+	defer p.memoMu.Unlock()
+	return len(p.memo)
+}
+
+// EstimateCalls reports the total number of plan evaluations requested by
+// the search, counting memo hits. EstimateCalls - MemoLen evaluations were
+// answered from cache without re-simulation.
+func (p *Planner) EstimateCalls() int64 { return atomic.LoadInt64(&p.estCalls) }

@@ -245,23 +245,6 @@ func TestPlanNaiveElasticInfeasible(t *testing.T) {
 	}
 }
 
-// Property: fairStepDown always returns a strictly smaller, fair,
-// positive allocation when one exists.
-func TestQuickFairStepDown(t *testing.T) {
-	f := func(allocRaw, trialsRaw uint8) bool {
-		alloc := int(allocRaw%200) + 1
-		trials := int(trialsRaw%64) + 1
-		v, ok := fairStepDown(alloc, trials)
-		if !ok {
-			return alloc == 1
-		}
-		return v >= 1 && v < alloc && (v%trials == 0 || trials%v == 0)
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
-	}
-}
-
 // Property: every candidate differs from the current plan in exactly one
 // stage, by a fair decrement.
 func TestQuickCandidatesWellFormed(t *testing.T) {

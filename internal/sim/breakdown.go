@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/cloud"
+	"repro/internal/dag"
 	"repro/internal/stats"
 )
 
@@ -27,7 +28,10 @@ type StageEstimate struct {
 }
 
 // Breakdown predicts per-stage durations and compute-cost attribution for
-// a plan, using the same Monte-Carlo machinery as Estimate.
+// a plan, using the same Monte-Carlo machinery as Estimate. Sample k draws
+// from the same per-plan stream Estimate's k-th sample uses, so the
+// decomposition describes exactly the schedules Estimate averaged over,
+// and repeated or concurrent calls return identical results.
 func (s *Simulator) Breakdown(p Plan) ([]StageEstimate, error) {
 	b, err := s.build(p)
 	if err != nil {
@@ -39,8 +43,11 @@ func (s *Simulator) Breakdown(p Plan) ([]StageEstimate, error) {
 	pr := s.cloud.Pricing
 	it := s.cloud.Instance
 
+	base := s.planStream(p)
+	var buf []dag.Timing
 	for k := 0; k < s.samples; k++ {
-		timings, _ := b.graph.Sample(s.rng)
+		timings, _ := b.graph.SampleInto(base.Stream(uint64(k)), buf)
+		buf = timings
 		stageStart := 0.0
 		prev := 0
 		for i := 0; i < n; i++ {
@@ -103,7 +110,9 @@ func (s *Simulator) CriticalPathKinds(p Plan, rng *stats.RNG) (map[string]float6
 		return nil, err
 	}
 	if rng == nil {
-		rng = s.rng
+		// Derive a deterministic stream for the plan rather than sharing
+		// mutable state, keeping the Simulator safe for concurrent use.
+		rng = s.planStream(p)
 	}
 	timings, _ := b.graph.Sample(rng)
 	path := b.graph.CriticalPath(timings)

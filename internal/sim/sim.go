@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/spec"
 	"repro/internal/stats"
@@ -23,13 +24,35 @@ type Estimate struct {
 
 // Simulator predicts JCT and cost for allocation plans over one job.
 // Construct with New; the zero value is not usable.
+//
+// A Simulator is immutable after construction and safe for concurrent use
+// by multiple goroutines: Estimate, Breakdown and BuildDAG never mutate
+// shared state. Every Monte-Carlo draw derives a private RNG stream from
+// the construction-time seed state, keyed by (plan, sample index), so
+// Estimate is a pure function of the simulator's configuration and the
+// plan — its result does not depend on how many estimates ran before it,
+// on which goroutine it ran, or on the worker count.
 type Simulator struct {
 	spec    *spec.ExperimentSpec
 	profile TrainProfile
 	cloud   CloudProfile
 	samples int
-	rng     *stats.RNG
+	// workers bounds the Monte-Carlo fan-out; <= 0 selects GOMAXPROCS.
+	workers int
+	// root is a snapshot of the seeding generator's state at construction.
+	// It is never advanced: streams are derived from it with
+	// stats.RNG.Stream, which is pure, so concurrent derivation is safe.
+	root stats.RNG
 }
+
+// Option configures optional Simulator behavior in New.
+type Option func(*Simulator)
+
+// WithWorkers bounds the worker pool Estimate and Breakdown fan Monte-
+// Carlo samples across. n <= 0 (the default) selects GOMAXPROCS; 1 forces
+// fully serial sampling. The estimate is bit-identical at every worker
+// count — the knob trades goroutine overhead against wall-clock time only.
+func WithWorkers(n int) Option { return func(s *Simulator) { s.workers = n } }
 
 // DefaultSamples is the Monte-Carlo sample count used when the caller does
 // not override it. The paper keeps this small by default so that plans are
@@ -37,8 +60,10 @@ type Simulator struct {
 const DefaultSamples = 20
 
 // New returns a simulator for the given job. samples <= 0 selects
-// DefaultSamples.
-func New(s *spec.ExperimentSpec, profile TrainProfile, cp CloudProfile, samples int, rng *stats.RNG) (*Simulator, error) {
+// DefaultSamples. The rng seeds every Monte-Carlo stream the simulator
+// will ever draw; its state is snapshotted, so the caller may keep using
+// (or discard) the generator afterwards without perturbing the simulator.
+func New(s *spec.ExperimentSpec, profile TrainProfile, cp CloudProfile, samples int, rng *stats.RNG, opts ...Option) (*Simulator, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,7 +79,32 @@ func New(s *spec.ExperimentSpec, profile TrainProfile, cp CloudProfile, samples 
 	if rng == nil {
 		rng = stats.NewRNG(0)
 	}
-	return &Simulator{spec: s, profile: profile, cloud: cp, samples: samples, rng: rng}, nil
+	sm := &Simulator{spec: s, profile: profile, cloud: cp, samples: samples, root: *rng}
+	for _, o := range opts {
+		o(sm)
+	}
+	return sm, nil
+}
+
+// Workers returns the resolved Monte-Carlo worker bound.
+func (s *Simulator) Workers() int { return par.Workers(s.workers) }
+
+// planKey hashes a plan's allocation vector into the index of its
+// dedicated stream family.
+func planKey(p Plan) uint64 {
+	words := make([]uint64, len(p.Alloc))
+	for i, a := range p.Alloc {
+		words[i] = uint64(a)
+	}
+	return stats.Hash64(words...)
+}
+
+// planStream returns the root generator of the plan's stream family. The
+// returned RNG is freshly allocated, so callers may advance it or derive
+// per-sample sub-streams from it without synchronization.
+func (s *Simulator) planStream(p Plan) *stats.RNG {
+	root := s.root
+	return root.Stream(planKey(p))
 }
 
 // Spec returns the simulated job's specification.
@@ -173,7 +223,11 @@ func (s *Simulator) build(p Plan) (*buildResult, error) {
 }
 
 // Estimate predicts JCT and cost for the plan by sampling the execution
-// DAG s.samples times and pricing each sampled schedule.
+// DAG s.samples times and pricing each sampled schedule. Samples fan out
+// across the simulator's worker pool (WithWorkers); sample k always draws
+// from the k-th stream of the plan's stream family and results are
+// reduced in fixed index order, so the estimate is bit-identical at any
+// worker count and across repeated or concurrent calls.
 func (s *Simulator) Estimate(p Plan) (Estimate, error) {
 	b, err := s.build(p)
 	if err != nil {
@@ -181,18 +235,39 @@ func (s *Simulator) Estimate(p Plan) (Estimate, error) {
 	}
 	jcts := make([]float64, s.samples)
 	costs := make([]float64, s.samples)
-	for k := 0; k < s.samples; k++ {
-		timings, makespan := b.graph.Sample(s.rng)
-		jcts[k] = makespan
-		costs[k] = s.priceSchedule(b, timings, makespan)
+	base := s.planStream(p)
+	workers := s.Workers()
+	if workers > s.samples {
+		workers = s.samples
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	// One scratch set per worker slot: sample timings and instance birth
+	// times are overwritten draw after draw instead of reallocated. The
+	// buffers carry no state between draws, so reuse cannot affect values.
+	scratch := make([]sampleScratch, workers)
+	par.ForEachWorker(s.samples, workers, func(w, k int) {
+		sc := &scratch[w]
+		var makespan float64
+		sc.timings, makespan = b.graph.SampleInto(base.Stream(uint64(k)), sc.timings)
+		jcts[k] = makespan
+		costs[k] = s.priceSchedule(b, sc.timings, makespan, sc)
+	})
 	js, cs := stats.Summarize(jcts), stats.Summarize(costs)
 	return Estimate{JCT: js.Mean, JCTStd: js.Std, Cost: cs.Mean, CostStd: cs.Std}, nil
 }
 
+// sampleScratch holds one worker's reusable Monte-Carlo buffers.
+type sampleScratch struct {
+	timings []dag.Timing
+	births  []float64 // alive-instance birth times for priceSchedule
+}
+
 // priceSchedule prices one sampled schedule under the cloud profile's
-// billing model.
-func (s *Simulator) priceSchedule(b *buildResult, timings []dag.Timing, makespan float64) float64 {
+// billing model. sc provides reusable buffers for the instance-lifetime
+// replay; it is owned by the calling worker.
+func (s *Simulator) priceSchedule(b *buildResult, timings []dag.Timing, makespan float64, sc *sampleScratch) float64 {
 	pr := s.cloud.Pricing
 	it := s.cloud.Instance
 
@@ -225,8 +300,7 @@ func (s *Simulator) priceSchedule(b *buildResult, timings []dag.Timing, makespan
 	// starts when the stage's SCALE request is serviced; shrinkage
 	// deprovisions the most recently added machines (LIFO) at the stage
 	// boundary.
-	type life struct{ birth float64 }
-	var alive []life
+	alive := sc.births[:0] // birth time per alive instance, LIFO order
 	var cost float64
 	stageStart := 0.0
 	for i := range b.instances {
@@ -237,20 +311,21 @@ func (s *Simulator) priceSchedule(b *buildResult, timings []dag.Timing, makespan
 				birth = timings[b.scaleID[i]].Finish // after queueing
 			}
 			for len(alive) < want {
-				alive = append(alive, life{birth: birth})
+				alive = append(alive, birth)
 			}
 		} else {
 			for len(alive) > want {
-				in := alive[len(alive)-1]
+				birth := alive[len(alive)-1]
 				alive = alive[:len(alive)-1]
-				cost += s.instanceCharge(in.birth, stageStart)
+				cost += s.instanceCharge(birth, stageStart)
 			}
 		}
 		stageStart = timings[b.syncID[i]].Finish
 	}
-	for _, in := range alive {
-		cost += s.instanceCharge(in.birth, makespan)
+	for _, birth := range alive {
+		cost += s.instanceCharge(birth, makespan)
 	}
+	sc.births = alive[:0]
 	return total + cost
 }
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+set -eu
+
+# Reproducibility harness for the parallel Monte-Carlo planner/simulator.
+# Usage:
+#   sh tools/repro/run.sh                         # fast deterministic suite
+#   GOMAXPROCS=8 sh tools/repro/run.sh            # same results, more cores
+#   RB_RUN_REPEATABILITY=1 sh tools/repro/run.sh  # include heavy repeatability test
+#   RB_RUN_BENCH=1 sh tools/repro/run.sh          # include speedup benchmarks
+#
+# Every test below asserts bit-identical output across worker counts and
+# repeated runs, so the suite must pass unchanged at any GOMAXPROCS value.
+
+export GOMAXPROCS=${GOMAXPROCS:-1}
+export CGO_ENABLED=0
+
+ROOT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)"
+cd "$ROOT_DIR"
+
+printf "== RNG stream derivation (golden values, independence) ==\n"
+go test ./internal/stats -run "^(TestSplit|TestStream|TestHash64)" -count=1 -timeout=10m -v
+
+printf "\n== Simulator determinism across worker counts ==\n"
+go test ./internal/sim -run "^(TestEstimateDeterministic|TestEstimateIndependentOfCallOrder|TestBreakdownDeterministic|TestCriticalPathKindsDeterministic)" -count=1 -timeout=10m -v
+
+printf "\n== Planner determinism and memo cache ==\n"
+go test ./internal/planner -run "^(TestPlanDeterministicAcrossWorkers|TestPlanMinJCTDeterministicAcrossWorkers|TestMemoCache)" -count=1 -timeout=10m -v
+
+printf "\n== Race-detector pass over the concurrent packages ==\n"
+# -race needs cgo; everything else stays CGO_ENABLED=0.
+CGO_ENABLED=1 go test -race ./internal/sim ./internal/planner ./internal/stats ./internal/par -count=1 -timeout=20m
+
+# Optional heavy tests
+if [ "${RB_RUN_REPEATABILITY:-0}" = "1" ]; then
+  printf "\n== Heavy repeatability test (500 samples, 16 workers, 5 reps) ==\n"
+  RB_RUN_REPEATABILITY=1 go test ./internal/sim -run "^TestEstimateHeavyRepeatability$" -count=1 -timeout=20m -v
+fi
+if [ "${RB_RUN_BENCH:-0}" = "1" ]; then
+  printf "\n== Speedup benchmarks ==\n"
+  go test -run '^$' -bench 'PlanElastic100|SimEstimateWorkers' -benchtime 3s -benchmem .
+fi
+
+printf "\nAll requested checks completed.\n"
