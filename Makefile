@@ -1,14 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench experiments examples repro clean
+.PHONY: all build test test-race vet lint bench experiments examples repro clean
 
-all: build vet test test-race
+all: build vet lint test test-race
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Project-specific static analysis: determinism and purity invariants of
+# the planning stack (see DESIGN.md "Determinism invariants").
+lint:
+	go run ./cmd/rbvet ./...
 
 test:
 	go test ./...

@@ -1,0 +1,70 @@
+// Command rbvet runs the project's static-analysis suite: it
+// type-checks every package of the module and enforces the determinism
+// and purity invariants of the planning stack (see DESIGN.md,
+// "Determinism invariants").
+//
+// Usage:
+//
+//	rbvet [-list] [packages]
+//
+// Packages default to ./... and use go-list patterns. Diagnostics print
+// as "file:line:col: [analyzer] message"; the exit status is nonzero
+// when any diagnostic survives suppression. Deliberate exceptions are
+// annotated in source with
+//
+//	//rbvet:ignore <analyzer> — <reason>
+//
+// on (or directly above) the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rbvet [-list] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbvet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analysis.All)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(dir, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rbvet: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,171 @@
+// Package analysis is rbvet's static-analysis framework: it type-checks
+// the module with the standard library's go/parser + go/types and runs
+// project-specific analyzers that machine-check the determinism and
+// purity invariants of the planning stack (see DESIGN.md, "Determinism
+// invariants"). Violations are reported as file:line diagnostics;
+// deliberate exceptions are suppressed per line with
+//
+//	//rbvet:ignore <analyzer> — <reason>
+//
+// where the reason is mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// AppliesTo restricts the analyzer to packages whose import path
+	// satisfies the predicate; nil means every package. External test
+	// packages are matched with their "_test" suffix stripped.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports violations on the pass.
+	Run func(*Pass)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic as "file:line:col: [analyzer] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path of the package under analysis
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the rbvet analyzer suite.
+var All = []*Analyzer{Maporder, Wallclock, Globalrand, Droppederr}
+
+// byName resolves analyzer names for directive validation.
+func byName(analyzers []*Analyzer) map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// ModulePath is the import-path prefix of the module under analysis.
+const ModulePath = "repro"
+
+// DeterministicCore lists the packages whose outputs must be pure
+// functions of their inputs: the Monte-Carlo simulator, the planners, the
+// placement controller, and everything they depend on for plan-affecting
+// state. Wall-clock reads here silently break run-to-run reproducibility
+// of JCT/cost estimates and allocation plans.
+var DeterministicCore = []string{
+	ModulePath + "/internal/sim",
+	ModulePath + "/internal/planner",
+	ModulePath + "/internal/placement",
+	ModulePath + "/internal/dag",
+	ModulePath + "/internal/stats",
+	ModulePath + "/internal/executor",
+}
+
+// basePath strips the external-test suffix so AppliesTo predicates see
+// the package under test's path.
+func basePath(path string) string { return strings.TrimSuffix(path, "_test") }
+
+// pathWithin reports whether path is pkg or a subpackage of pkg.
+func pathWithin(path, pkg string) bool {
+	return path == pkg || strings.HasPrefix(path, pkg+"/")
+}
+
+// inDeterministicCore reports whether the package is part of the
+// deterministic core.
+func inDeterministicCore(path string) bool {
+	for _, core := range DeterministicCore {
+		if pathWithin(basePath(path), core) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the packages, applies ignore
+// directives, and returns the surviving diagnostics plus directive
+// problems, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := byName(analyzers)
+	var diags []Diagnostic
+	var suppressions []directive
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(basePath(pkg.Path)) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a, Path: pkg.Path, Fset: pkg.Fset,
+				Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
+				diags: &diags,
+			}
+			a.Run(pass)
+		}
+		dirs, problems := parseDirectives(pkg, known)
+		suppressions = append(suppressions, dirs...)
+		diags = append(diags, problems...)
+	}
+	diags = applySuppressions(diags, suppressions)
+	diags = dedupe(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// dedupe removes repeated diagnostics: nested map-range loops can flag
+// one operation from both the inner and outer loop's perspective.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	seen := make(map[Diagnostic]bool, len(diags))
+	kept := diags[:0]
+	for _, d := range diags {
+		if !seen[d] {
+			seen[d] = true
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

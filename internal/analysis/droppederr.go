@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Droppederr flags discarded errors: expression-statement calls whose
+// error result vanishes, and `_ =` error discards outside test files.
+// The executor's control loop turns errors into run failure via
+// run.fail; an error silently dropped between the planner and the
+// cluster manager is an invariant violation that surfaces as a wrong
+// plan rather than a reported fault.
+//
+// Conventional never-fails writers are exempt: fmt.Print*/fmt.Fprint*
+// to os.Stdout/os.Stderr, and methods of strings.Builder and
+// bytes.Buffer (documented to never return an error).
+var Droppederr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flag calls whose error result is discarded, and _ = error discards outside tests",
+	Run:  runDroppederr,
+}
+
+func runDroppederr(p *Pass) {
+	for _, f := range p.Files {
+		inTest := strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(p.Info, call) || exemptCall(p.Info, call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "%s returns an error that is discarded; handle it or assign it", calleeName(p.Info, call))
+			case *ast.AssignStmt:
+				if inTest {
+					return true
+				}
+				reportBlankErrDiscards(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// reportBlankErrDiscards flags `_ = <error>` positions in an assignment,
+// including blank positions of a multi-value call.
+func reportBlankErrDiscards(p *Pass, n *ast.AssignStmt) {
+	blankErr := func(lhs ast.Expr, typ types.Type) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || typ == nil || !isErrorType(typ) {
+			return
+		}
+		p.Reportf(id.Pos(), "error discarded with _; handle it (discards are tolerated only in _test.go files)")
+	}
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		tuple, ok := p.Info.TypeOf(n.Rhs[0]).(*types.Tuple)
+		if !ok || tuple.Len() != len(n.Lhs) {
+			return
+		}
+		if call, ok := astCall(n.Rhs[0]); ok && exemptCall(p.Info, call) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			blankErr(lhs, tuple.At(i).Type())
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i < len(n.Rhs) {
+			blankErr(lhs, p.Info.TypeOf(n.Rhs[i]))
+		}
+	}
+}
+
+// astCall unwraps parentheses and returns the call expression, if any.
+func astCall(e ast.Expr) (*ast.CallExpr, bool) {
+	c, ok := ast.Unparen(e).(*ast.CallExpr)
+	return c, ok
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// returnsError reports whether the call yields an error, alone or in a
+// tuple.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	switch t := info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeName renders the callee for a diagnostic, qualified by package
+// name.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := types.TypeString(recv.Type(), func(p *types.Package) string { return p.Name() })
+			return "(" + t + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}
+
+// recvNamed resolves the receiver's named type, dereferencing one
+// pointer, and reports its package path and type name.
+func recvNamed(fn *types.Func) (pkgPath, typeName string) {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name()
+}
+
+// exemptCall reports whether the call is a conventional never-fails
+// writer whose dropped (n, err) results are idiomatic to ignore.
+func exemptCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		pkg, name := recvNamed(fn)
+		return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	switch {
+	case name == "Print" || name == "Printf" || name == "Println":
+		return true
+	case strings.HasPrefix(name, "Fprint"):
+		// Exempt only writes to the process's standard streams.
+		return len(call.Args) > 0 && isStdStream(info, call.Args[0])
+	}
+	return false
+}
+
+// isStdStream reports whether e is exactly os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

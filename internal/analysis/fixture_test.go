@@ -1,0 +1,226 @@
+package analysis
+
+// Golden-file harness: each fixture directory under testdata/src is one
+// package. Lines with expected diagnostics carry
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments matched against the rendered "[analyzer] message". A fixture
+// may pin its package import path (the analyzers' AppliesTo input) with
+// a leading //rbvet:pkgpath comment; negative fixtures simply contain no
+// want comments.
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureExports lazily builds export data for the stdlib packages the
+// fixtures import.
+var fixtureExports = struct {
+	sync.Mutex
+	m map[string]string
+}{}
+
+func exportsFor(t *testing.T, imports map[string]bool) map[string]string {
+	t.Helper()
+	fixtureExports.Lock()
+	defer fixtureExports.Unlock()
+	missing := make([]string, 0, len(imports))
+	for imp := range imports {
+		if _, ok := fixtureExports.m[imp]; !ok {
+			missing = append(missing, imp)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		wd, err := os.Getwd()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := exportMap(wd, missing)
+		if err != nil {
+			t.Fatalf("building export data for fixtures: %v", err)
+		}
+		if fixtureExports.m == nil {
+			fixtureExports.m = make(map[string]string)
+		}
+		for k, v := range m {
+			fixtureExports.m[k] = v
+		}
+	}
+	out := make(map[string]string, len(fixtureExports.m))
+	for k, v := range fixtureExports.m {
+		out[k] = v
+	}
+	return out
+}
+
+// loadFixture parses and type-checks one fixture directory.
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	fset := token.NewFileSet()
+	files, sources, err := parseDir(fset, dir, names)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", dir, err)
+	}
+
+	pkgPath := "fixture/" + filepath.Base(dir)
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//rbvet:pkgpath "); ok {
+					pkgPath = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+
+	imp := newExportImporter(fset, exportsFor(t, imports))
+	tpkg, info, err := checkFiles(fset, pkgPath, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{
+		Path: pkgPath, Dir: dir, Fset: fset,
+		Files: files, Types: tpkg, Info: info, Sources: sources,
+	}
+}
+
+// Want patterns may be double-quoted (escaped) or backtick-quoted (raw,
+// friendlier for regexps full of metacharacters).
+var (
+	wantRE    = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+	wantTokRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+)
+
+// expectations extracts want comments: file:line -> expected regexps.
+func expectations(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for name, src := range pkg.Sources {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", name, i+1)
+			for _, q := range wantTokRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+				}
+				wants[key] = append(wants[key], regexp.MustCompile(pat))
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks the analyzers' diagnostics on one fixture against
+// its want comments.
+func runFixture(t *testing.T, analyzers []*Analyzer, dir string) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	diags := Run([]*Package{pkg}, analyzers)
+	wants := expectations(t, pkg)
+
+	matched := make(map[string][]bool)
+	for key, res := range wants {
+		matched[key] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		rendered := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		ok := false
+		for i, re := range wants[key] {
+			if !matched[key][i] && re.MatchString(rendered) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", key, rendered)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if !matched[key][i] {
+				t.Errorf("%s: no diagnostic matched %q", key, re)
+			}
+		}
+	}
+}
+
+// fixtures lists the sub-fixtures of testdata/src/<group>.
+func fixtures(t *testing.T, group string) []string {
+	t.Helper()
+	root := filepath.Join("testdata", "src", group)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(root, e.Name()))
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no fixtures under %s", root)
+	}
+	return dirs
+}
+
+func testAnalyzerFixtures(t *testing.T, analyzers []*Analyzer, group string) {
+	for _, dir := range fixtures(t, group) {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) { runFixture(t, analyzers, dir) })
+	}
+}
+
+func TestMaporderFixtures(t *testing.T) { testAnalyzerFixtures(t, []*Analyzer{Maporder}, "maporder") }
+func TestWallclockFixtures(t *testing.T) {
+	testAnalyzerFixtures(t, []*Analyzer{Wallclock}, "wallclock")
+}
+func TestGlobalrandFixtures(t *testing.T) {
+	testAnalyzerFixtures(t, []*Analyzer{Globalrand}, "globalrand")
+}
+func TestDroppederrFixtures(t *testing.T) {
+	testAnalyzerFixtures(t, []*Analyzer{Droppederr}, "droppederr")
+}
+
+// TestIgnoreFixtures exercises the suppression mechanism end-to-end:
+// reasons silence exactly one analyzer on exactly one line, bare ignores
+// are themselves diagnostics, and unrelated analyzers keep reporting.
+func TestIgnoreFixtures(t *testing.T) {
+	testAnalyzerFixtures(t, []*Analyzer{Maporder, Wallclock, Globalrand, Droppederr}, "ignore")
+}

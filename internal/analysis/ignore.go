@@ -1,0 +1,123 @@
+// Ignore directives: per-line suppression of one analyzer's diagnostics.
+//
+//	//rbvet:ignore <analyzer> — <reason>
+//
+// A trailing directive (sharing its line with code) suppresses that
+// line; a standalone directive (alone on its line) suppresses the next
+// line. Each directive silences exactly one analyzer on exactly one
+// line; a directive without a reason, or naming an unknown analyzer, is
+// itself a diagnostic — the suppression record must explain itself.
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//rbvet:ignore"
+
+// directive is one parsed, well-formed ignore comment.
+type directive struct {
+	file     string
+	line     int // the source line the directive suppresses
+	analyzer string
+	reason   string
+}
+
+// parseDirectives extracts the ignore directives from a package's
+// comments. Malformed directives (missing analyzer, unknown analyzer,
+// missing reason) are returned as diagnostics under the "rbvet" name.
+func parseDirectives(pkg *Package, known map[string]bool) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var problems []Diagnostic
+	report := func(pos token.Position, msg string) {
+		problems = append(problems, Diagnostic{Pos: pos, Analyzer: "rbvet", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason := splitDirective(rest)
+				switch {
+				case name == "":
+					report(pos, "ignore directive names no analyzer (want //rbvet:ignore <analyzer> — <reason>)")
+					continue
+				case !known[name]:
+					report(pos, "ignore directive names unknown analyzer "+quoteName(name))
+					continue
+				case reason == "":
+					report(pos, "ignore directive for "+quoteName(name)+" has no reason — every suppression must explain itself")
+					continue
+				}
+				line := pos.Line
+				if standalone(pkg.Sources[pos.Filename], pos) {
+					line++
+				}
+				dirs = append(dirs, directive{file: pos.Filename, line: line, analyzer: name, reason: reason})
+			}
+		}
+	}
+	return dirs, problems
+}
+
+// splitDirective splits "analyzer — reason" into its parts. The
+// separator may be an em dash, "--", or ":"; the reason is whatever
+// non-empty text follows it.
+func splitDirective(s string) (name, reason string) {
+	name = s
+	var rest string
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		name, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	for _, sep := range []string{"—", "--", ":"} {
+		if strings.HasPrefix(rest, sep) {
+			return name, strings.TrimSpace(strings.TrimPrefix(rest, sep))
+		}
+	}
+	// Text without a recognized separator is not a reason; treat it as
+	// absent so the directive is flagged.
+	return name, ""
+}
+
+// standalone reports whether the comment at pos has only whitespace
+// before it on its line, making it a directive for the following line.
+func standalone(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}
+
+// applySuppressions drops diagnostics covered by a directive.
+func applySuppressions(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	suppressed := make(map[key]bool, len(dirs))
+	for _, d := range dirs {
+		suppressed[key{d.file, d.line, d.analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// quoteName quotes a name for a diagnostic message.
+func quoteName(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,58 @@
+package analysis
+
+import "testing"
+
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		in, name, reason string
+	}{
+		{"maporder — ties broken by ID", "maporder", "ties broken by ID"},
+		{"maporder -- ties broken by ID", "maporder", "ties broken by ID"},
+		{"maporder : ties broken by ID", "maporder", "ties broken by ID"},
+		{"maporder: colon glued to the name is part of the name", "maporder:", ""},
+		{"wallclock —", "wallclock", ""},
+		{"wallclock", "wallclock", ""},
+		{"", "", ""},
+		{"droppederr bare words without a separator", "droppederr", ""},
+	}
+	for _, c := range cases {
+		name, reason := splitDirective(c.in)
+		if name != c.name || reason != c.reason {
+			t.Errorf("splitDirective(%q) = (%q, %q), want (%q, %q)", c.in, name, reason, c.name, c.reason)
+		}
+	}
+}
+
+func TestSplitDirectiveColon(t *testing.T) {
+	// A colon glued to the analyzer name is not a separator between the
+	// name and reason; the supported form puts it after the name token.
+	name, reason := splitDirective("maporder :ties broken by ID")
+	if name != "maporder" || reason != "ties broken by ID" {
+		t.Errorf("got (%q, %q)", name, reason)
+	}
+}
+
+func TestApplySuppressionsExactness(t *testing.T) {
+	diag := func(file string, line int, analyzer string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer, Message: "m"}
+		d.Pos.Filename = file
+		d.Pos.Line = line
+		return d
+	}
+	diags := []Diagnostic{
+		diag("a.go", 10, "maporder"),
+		diag("a.go", 10, "droppederr"), // other analyzer, same line
+		diag("a.go", 11, "maporder"),   // same analyzer, other line
+		diag("b.go", 10, "maporder"),   // same line number, other file
+	}
+	dirs := []directive{{file: "a.go", line: 10, analyzer: "maporder", reason: "r"}}
+	got := applySuppressions(append([]Diagnostic(nil), diags...), dirs)
+	if len(got) != 3 {
+		t.Fatalf("suppressed %d diagnostics, want exactly 1 (got %v)", len(diags)-len(got), got)
+	}
+	for _, d := range got {
+		if d.Pos.Filename == "a.go" && d.Pos.Line == 10 && d.Analyzer == "maporder" {
+			t.Fatalf("targeted diagnostic survived: %v", d)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `range` loops over maps whose bodies are sensitive to
+// iteration order — the bug class that let placement's pickVictim return
+// different victims on identical inputs. Go randomizes map iteration
+// order per run, so any of the following inside a map-range body makes
+// plan output depend on the run:
+//
+//   - appending to a slice declared outside the loop, unless the slice
+//     is sorted afterwards in the same function (the collect-then-sort
+//     idiom);
+//   - a selection (min/max/argmin): a plain assignment of loop-derived
+//     values to variables declared outside the loop, guarded by a
+//     relational comparison — first-seen wins ties in map order;
+//   - accumulating floating-point values with += or -= into an outer
+//     variable (float addition is not associative, so the result's
+//     rounding depends on summation order);
+//   - writing output through the fmt print family.
+//
+// Loops whose selection has a provably total order (explicit
+// tie-breaks, like bestFit's smallest-NodeID rule) stay flagged — the
+// analyzer cannot verify totality — and carry an
+// //rbvet:ignore maporder directive stating the tie-break.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive bodies of range-over-map loops (append, min/max selection, float accumulation, printing)",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if rs, ok := n.(*ast.RangeStmt); ok && isMapRange(p.Info, rs) {
+				checkMapRange(p, rs, append([]ast.Node(nil), stack...))
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body for order-sensitive
+// operations. stack holds the ancestors of rs, outermost first.
+func checkMapRange(p *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	scanOrderSensitive(p, rs, rs.Body, false, stack)
+}
+
+// scanOrderSensitive walks n's subtree tracking whether execution is
+// guarded by a relational comparison. Function literals run under their
+// own control flow and nested map ranges get their own checkMapRange
+// call, so both subtrees are skipped.
+func scanOrderSensitive(p *Pass, rs *ast.RangeStmt, n ast.Node, underRel bool, stack []ast.Node) {
+	if n == nil {
+		return
+	}
+	switch t := n.(type) {
+	case *ast.FuncLit:
+		return
+	case *ast.IfStmt:
+		scanOrderSensitive(p, rs, t.Init, underRel, stack)
+		under := underRel || hasRelational(t.Cond)
+		scanOrderSensitive(p, rs, t.Body, under, stack)
+		scanOrderSensitive(p, rs, t.Else, under, stack)
+		return
+	case *ast.AssignStmt:
+		checkAssign(p, rs, t, underRel, stack)
+	case *ast.ExprStmt:
+		if call, ok := astCall(t.X); ok && isFmtPrint(p.Info, call) {
+			p.Reportf(call.Pos(), "output written in map iteration order; collect and sort the keys first")
+		}
+	}
+	scanChildren(p, rs, n, underRel, stack)
+}
+
+// scanChildren recurses into n's immediate children.
+func scanChildren(p *Pass, rs *ast.RangeStmt, n ast.Node, underRel bool, stack []ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		if c != nil {
+			scanOrderSensitive(p, rs, c, underRel, stack)
+		}
+		return false
+	})
+}
+
+// checkAssign classifies one assignment inside the map-range body.
+func checkAssign(p *Pass, rs *ast.RangeStmt, n *ast.AssignStmt, underRel bool, stack []ast.Node) {
+	switch n.Tok {
+	case token.ASSIGN:
+		if v := appendTarget(p.Info, n); v != nil && !within(v.Pos(), rs) {
+			if !sortedAfter(p.Info, rs, v, stack) {
+				p.Reportf(n.Pos(), "append to %s in map iteration order without a later sort; sort the keys first or sort %s before use", v.Name(), v.Name())
+			}
+			return
+		}
+		if !underRel || !referencesLoopLocal(p.Info, rs, n.Rhs) {
+			return
+		}
+		for _, lhs := range n.Lhs {
+			if outerScalar(p.Info, rs, lhs) {
+				p.Reportf(n.Pos(), "min/max selection over map iteration order: ties resolve to the first-seen key, which differs between runs; iterate sorted keys or break ties by a total order (and record it in an ignore directive)")
+				return
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if !outerScalar(p.Info, rs, n.Lhs[0]) {
+			return
+		}
+		if t := p.Info.TypeOf(n.Lhs[0]); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				p.Reportf(n.Pos(), "floating-point accumulation in map iteration order; addition order changes the rounding — iterate sorted keys")
+			}
+		}
+	}
+}
+
+// appendTarget returns the variable v for assignments of the form
+// `v = append(v, ...)`, else nil.
+func appendTarget(info *types.Info, n *ast.AssignStmt) *types.Var {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return nil
+	}
+	call, ok := astCall(n.Rhs[0])
+	if !ok {
+		return nil
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.ObjectOf(id).(*types.Var)
+	return v
+}
+
+// sortedAfter reports whether some statement after rs in an enclosing
+// block passes v to a call whose name mentions sort (sort.Slice,
+// slices.Sort, sortTrials, ...) — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, rs *ast.RangeStmt, v *types.Var, stack []ast.Node) bool {
+	for _, anc := range stack {
+		var stmts []ast.Stmt
+		switch b := anc.(type) {
+		case *ast.BlockStmt:
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		case *ast.CommClause:
+			stmts = b.Body
+		default:
+			continue
+		}
+		for _, s := range stmts {
+			if s.Pos() < rs.End() {
+				continue
+			}
+			if callsSortOn(info, s, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsSortOn reports whether the statement contains a call to a
+// sort-named function with v among its arguments.
+func callsSortOn(info *types.Info, s ast.Stmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		name := ""
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			// Include the qualifier so sort.Slice and slices.Sort match.
+			name = fun.Sel.Name
+			if x, ok := fun.X.(*ast.Ident); ok {
+				name = x.Name + "." + name
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.ObjectOf(id) == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// referencesLoopLocal reports whether any of the expressions mentions a
+// variable declared inside the range statement (the range variables or
+// loop locals) — the signature of a value selected from the iteration.
+func referencesLoopLocal(info *types.Info, rs *ast.RangeStmt, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && obj.Pos().IsValid() && within(obj.Pos(), rs) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// outerScalar reports whether lhs is a plain identifier naming a
+// variable declared outside the range statement. Indexed writes
+// (m[k] = v) are keyed by the range variable and stay order-independent,
+// so only bare identifiers count.
+func outerScalar(info *types.Info, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return !within(obj.Pos(), rs)
+}
+
+// within reports whether pos falls inside node n.
+func within(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos < n.End()
+}
+
+// isFmtPrint reports whether the call is to fmt's print family.
+func isFmtPrint(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint"))
+}
+
+// hasRelational reports whether the expression contains <, >, <= or >=.
+func hasRelational(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

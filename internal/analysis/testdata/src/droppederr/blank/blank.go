@@ -1,0 +1,17 @@
+//rbvet:pkgpath repro/internal/executor
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func persist() error { return nil }
+
+// discard throws errors away with the blank identifier outside a test
+// file.
+func discard(w io.Writer) int {
+	_ = persist()                   // want `\[droppederr\] error discarded with _`
+	n, _ := fmt.Fprintf(w, "row\n") // want `\[droppederr\] error discarded with _`
+	return n
+}

@@ -1,0 +1,17 @@
+//rbvet:pkgpath repro/internal/executor
+package fixture
+
+import "os"
+
+type store struct{}
+
+func (s *store) flush() error { return nil }
+
+func persist() error { return nil }
+
+// run drops errors on the floor in expression statements.
+func run(s *store) {
+	persist()            // want `\[droppederr\] fixture.persist returns an error that is discarded`
+	s.flush()            // want `\[droppederr\] \(\*fixture.store\).flush returns an error that is discarded`
+	os.Remove("scratch") // want `\[droppederr\] os.Remove returns an error that is discarded`
+}

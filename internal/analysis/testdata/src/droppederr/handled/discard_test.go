@@ -1,0 +1,8 @@
+//rbvet:pkgpath repro/internal/executor
+package fixture
+
+// inTestFile may discard errors with the blank identifier: test files
+// are exempt from the `_ =` rule.
+func inTestFile() {
+	_ = persist()
+}

@@ -1,0 +1,30 @@
+//rbvet:pkgpath repro/internal/executor
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func persist() error { return nil }
+
+// handled demonstrates the allowed forms: handled errors and the
+// conventional never-fails writers.
+func handled(v any) (string, error) {
+	if err := persist(); err != nil {
+		return "", err
+	}
+	fmt.Println("progress")
+	fmt.Fprintln(os.Stderr, "progress")
+	var b strings.Builder
+	b.WriteString("a")
+	var buf bytes.Buffer
+	buf.WriteString("b")
+	n, ok := v.(int) // comma-ok is not an error discard
+	if !ok {
+		n = 0
+	}
+	return fmt.Sprintf("%s%s%d", b.String(), buf.String(), n), nil
+}

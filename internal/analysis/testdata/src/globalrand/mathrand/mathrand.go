@@ -1,0 +1,10 @@
+//rbvet:pkgpath repro/internal/planner
+package fixture
+
+import "math/rand" // want `\[globalrand\] import of math/rand outside internal/stats`
+
+// jitter uses the global generator, whose hidden state breaks
+// reproducibility.
+func jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,9 @@
+//rbvet:pkgpath repro/cmd/rbsweep
+package fixture
+
+import rand "math/rand/v2" // want `\[globalrand\] import of math/rand/v2 outside internal/stats`
+
+// pick uses v2's global generator; still hidden state.
+func pick(n int) int {
+	return rand.IntN(n)
+}

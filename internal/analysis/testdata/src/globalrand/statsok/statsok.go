@@ -1,0 +1,11 @@
+//rbvet:pkgpath repro/internal/stats
+package fixture
+
+import "math/rand"
+
+// seedCheck lives in internal/stats, the one package allowed to touch
+// math/rand (to validate its own streams against the reference
+// generator).
+func seedCheck(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

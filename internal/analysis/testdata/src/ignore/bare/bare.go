@@ -1,0 +1,12 @@
+//rbvet:pkgpath repro/internal/planner
+package fixture
+
+// A bare directive (no reason) is itself a diagnostic and suppresses
+// nothing; an unknown analyzer name is also a diagnostic.
+
+//rbvet:ignore globalrand // want `\[rbvet\] ignore directive for "globalrand" has no reason`
+import "math/rand" // want `\[globalrand\] import of math/rand outside internal/stats`
+
+var _ = rand.Int
+
+//rbvet:ignore nosuchcheck — fixture: this analyzer does not exist // want `\[rbvet\] ignore directive names unknown analyzer "nosuchcheck"`

@@ -1,0 +1,13 @@
+//rbvet:pkgpath repro/internal/sim
+package fixture
+
+import "time"
+
+func record(int64) error { return nil }
+
+// tick has two violations on one line; the directive silences exactly
+// one analyzer (wallclock), so droppederr still fires.
+func tick() {
+	//rbvet:ignore wallclock — fixture: the directive names one analyzer and leaves the other reporting
+	_ = record(time.Now().Unix()) // want `\[droppederr\] error discarded with _`
+}

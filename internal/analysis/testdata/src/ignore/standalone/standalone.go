@@ -1,0 +1,13 @@
+//rbvet:pkgpath repro/internal/sim
+package fixture
+
+import "time"
+
+// stamps shows a standalone directive covering exactly the next line:
+// the first clock read is suppressed, the second still fires.
+func stamps() (int64, int64) {
+	//rbvet:ignore wallclock — fixture: a standalone directive covers only the following line
+	a := time.Now().UnixNano()
+	b := time.Now().UnixNano() // want `\[wallclock\] time.Now read from the deterministic core`
+	return a, b
+}

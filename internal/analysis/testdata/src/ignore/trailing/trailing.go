@@ -1,0 +1,15 @@
+//rbvet:pkgpath repro/internal/planner
+package fixture
+
+import (
+	"math/rand" //rbvet:ignore globalrand — fixture: a reasoned trailing directive silences this line
+
+	randv2 "math/rand/v2" // want `\[globalrand\] import of math/rand/v2 outside internal/stats`
+)
+
+// Both generators are referenced so the imports are used; only the
+// second import is reported — the first carries a reasoned directive.
+var (
+	_ = rand.Int
+	_ = randv2.Int
+)

@@ -1,0 +1,29 @@
+//rbvet:pkgpath repro/internal/sim
+package fixture
+
+import "fmt"
+
+// keys collects map keys without sorting them afterwards.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `\[maporder\] append to out in map iteration order`
+	}
+	return out
+}
+
+// total sums floats in map order; the rounding depends on the order.
+func total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `\[maporder\] floating-point accumulation in map iteration order`
+	}
+	return sum
+}
+
+// dump prints rows in map order.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `\[maporder\] output written in map iteration order`
+	}
+}

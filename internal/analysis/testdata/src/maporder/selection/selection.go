@@ -1,0 +1,30 @@
+//rbvet:pkgpath repro/internal/planner
+package fixture
+
+// argmin keeps the first-seen key on value ties, so its result depends
+// on map iteration order.
+func argmin(m map[int]float64) int {
+	best := -1
+	bestV := 1e18
+	for k, v := range m {
+		if v < bestV {
+			best, bestV = k, v // want `\[maporder\] min/max selection over map iteration order`
+		}
+	}
+	return best
+}
+
+// argmaxGuarded uses the continue-guard form of the same bug.
+func argmaxGuarded(m map[string]int) string {
+	best := ""
+	bestV := -1
+	for k, v := range m {
+		if v < bestV {
+			continue
+		}
+		if len(k) > 0 {
+			best, bestV = k, v // want `\[maporder\] min/max selection over map iteration order`
+		}
+	}
+	return best
+}

@@ -1,0 +1,70 @@
+//rbvet:pkgpath repro/internal/sim
+package fixture
+
+import "sort"
+
+// sortedKeys is the canonical collect-then-sort idiom; the later sort
+// makes the append order irrelevant.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedByHelper sorts through a project-local helper.
+func sortedByHelper(m map[int]int) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+func sortIDs(ids []int) { sort.Ints(ids) }
+
+// argminSlice selects over a slice, whose order is deterministic.
+func argminSlice(xs []float64) int {
+	best := -1
+	bestV := 1e18
+	for i, v := range xs {
+		if v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// count accumulates integers, which is exactly commutative.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert writes through keys derived from the iteration, which is
+// order-independent.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// anyNegative sets an order-independent flag; the assigned value does
+// not derive from the iteration.
+func anyNegative(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}

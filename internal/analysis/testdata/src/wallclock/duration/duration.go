@@ -1,0 +1,13 @@
+//rbvet:pkgpath repro/internal/stats
+package fixture
+
+import "time"
+
+// budget does pure duration arithmetic: no clock reads, nothing to flag.
+func budget(per time.Duration, n int) time.Duration {
+	total := per * time.Duration(n)
+	if total > time.Hour {
+		total = time.Hour
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+//rbvet:pkgpath repro/internal/trace
+package fixture
+
+import "time"
+
+// stamp reads the wall clock outside the deterministic core, where it
+// is allowed (trace timestamps never feed plans).
+func stamp() time.Time {
+	return time.Now()
+}

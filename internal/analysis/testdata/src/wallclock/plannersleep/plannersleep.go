@@ -1,0 +1,15 @@
+//rbvet:pkgpath repro/internal/planner
+package fixture
+
+import "time"
+
+// throttle sleeps on the real clock inside the planner.
+func throttle(d time.Duration) {
+	time.Sleep(d) // want `\[wallclock\] time.Sleep read from the deterministic core`
+}
+
+// clockFunc passes the wall clock around as a value, which is still a
+// reference to it.
+func clockFunc() func() time.Time {
+	return time.Now // want `\[wallclock\] time.Now read from the deterministic core`
+}

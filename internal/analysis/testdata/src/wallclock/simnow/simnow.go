@@ -1,0 +1,11 @@
+//rbvet:pkgpath repro/internal/sim
+package fixture
+
+import "time"
+
+// stamp reads the wall clock from the simulator package.
+func stamp() (int64, float64) {
+	t0 := time.Now()                    // want `\[wallclock\] time.Now read from the deterministic core`
+	elapsed := time.Since(t0).Seconds() // want `\[wallclock\] time.Since read from the deterministic core`
+	return t0.UnixNano(), elapsed
+}

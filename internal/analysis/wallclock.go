@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids wall-clock reads in the deterministic core.
+// sim.Estimate and the planners must be pure functions of (seed, plan):
+// all time in the core flows through the virtual clock
+// (internal/vclock), so a time.Now/Since/Sleep there couples estimates
+// and plans to the machine's clock and breaks bit-identical replay.
+var Wallclock = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "forbid time.Now/time.Since/time.Sleep in the deterministic core (use the virtual clock)",
+	AppliesTo: inDeterministicCore,
+	Run:       runWallclock,
+}
+
+// wallclockFuncs are the forbidden time package functions: clock reads
+// and real sleeps. Duration arithmetic and formatting remain allowed.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Sleep": true,
+}
+
+func runWallclock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if wallclockFuncs[fn.Name()] {
+				p.Reportf(id.Pos(), "time.%s read from the deterministic core; all time must flow through the virtual clock (internal/vclock)", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -169,7 +169,7 @@ func (m *Manager) Release(id NodeID) error {
 // ReleaseAll deprovisions every ready node (end of experiment).
 func (m *Manager) ReleaseAll() {
 	for id := range m.ready {
-		// Error impossible: id comes from the map itself.
+		//rbvet:ignore droppederr — id comes from the ready map itself, so Release cannot fail
 		_ = m.Release(id)
 	}
 }

@@ -254,6 +254,7 @@ func bestFit(free map[cluster.NodeID]int, unit int) (cluster.NodeID, bool) {
 	bestFree := int(^uint(0) >> 1)
 	for nid, f := range free {
 		if f >= unit && (f < bestFree || (f == bestFree && nid < best)) {
+			//rbvet:ignore maporder — ties on free capacity resolve to the smallest NodeID, a strict total order independent of iteration order
 			best, bestFree = nid, f
 		}
 	}
@@ -261,8 +262,10 @@ func bestFit(free map[cluster.NodeID]int, unit int) (cluster.NodeID, bool) {
 }
 
 // pickVictim chooses the smallest displaceable trial (other than t) whose
-// removal would let some node fit unit GPUs. Locked trials and trials
-// placed this epoch are not displaceable.
+// removal would let some node fit unit GPUs, breaking equal-GPU ties by
+// the smallest TrialID (mirroring bestFit and sortTrials) so the victim
+// is independent of map iteration order. Locked trials and trials placed
+// this epoch are not displaceable.
 func (c *Controller) pickVictim(plan Plan, free map[cluster.NodeID]int, unit int, t TrialID, placedNow map[TrialID]bool) (TrialID, bool) {
 	victim := TrialID(-1)
 	victimGPUs := int(^uint(0) >> 1)
@@ -271,12 +274,16 @@ func (c *Controller) pickVictim(plan Plan, free map[cluster.NodeID]int, unit int
 			continue
 		}
 		g := asg.GPUs()
-		if g >= victimGPUs {
+		// Keep the minimum under the (GPUs, TrialID) total order; a
+		// strict order admits exactly one minimum, so any iteration
+		// order converges on the same victim.
+		if g > victimGPUs || (g == victimGPUs && cand > victim) {
 			continue
 		}
 		// Would removing cand open enough room somewhere?
 		for nid, held := range asg {
 			if free[nid]+held >= unit {
+				//rbvet:ignore maporder — selection follows the strict (GPUs, TrialID) total order established by the guard above
 				victim, victimGPUs = cand, g
 				break
 			}

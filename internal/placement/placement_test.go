@@ -459,3 +459,73 @@ func TestQuickPlacementStable(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPickVictimTieDeterministic forces a displacement whose two victim
+// candidates hold the same GPU count and checks that the controller
+// breaks the tie by TrialID — the same victim on every run, regardless
+// of map iteration order. (Before the (GPUs, TrialID) total order,
+// first-seen-in-map-order won and identical inputs produced different
+// plans across runs.)
+func TestPickVictimTieDeterministic(t *testing.T) {
+	var ref Plan
+	for run := 0; run < 50; run++ {
+		c := NewController(2)
+		nodes := mkNodes(2, 2)
+
+		// Epoch 1 fills both nodes so that trial 10 lands on node 0 and
+		// trial 98 on node 1.
+		first := map[TrialID]int{10: 1, 20: 1, 98: 1, 99: 1}
+		if _, err := c.Update(first, nodes); err != nil {
+			t.Fatal(err)
+		}
+		c.Remove(20)
+		c.Remove(99)
+
+		// Epoch 2: trial 30 needs a whole node; displacing either trial
+		// 10 or trial 98 (1 GPU each — a tie) would free one. The victim
+		// must always be trial 10, the smaller ID.
+		second := map[TrialID]int{10: 1, 98: 1, 30: 2}
+		plan, err := c.Update(second, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlan(t, plan, second, nodes, 2)
+		var tenNode, ninetyEightNode cluster.NodeID = -1, -1
+		for nid := range plan[10] {
+			tenNode = nid
+		}
+		for nid := range plan[98] {
+			ninetyEightNode = nid
+		}
+		if ninetyEightNode != 1 {
+			t.Fatalf("run %d: trial 98 moved to node %d; only trial 10 (smaller ID) should be displaced", run, ninetyEightNode)
+		}
+		if tenNode != 1 {
+			t.Fatalf("run %d: trial 10 on node %d, want displaced to node 1", run, tenNode)
+		}
+		if ref == nil {
+			ref = plan
+		} else if !plansEqual(ref, plan) {
+			t.Fatalf("run %d: plan differs from run 0:\n  got  %v\n  want %v", run, plan, ref)
+		}
+	}
+}
+
+// plansEqual compares two plans structurally.
+func plansEqual(a, b Plan) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for tr, asg := range a {
+		other, ok := b[tr]
+		if !ok || len(asg) != len(other) {
+			return false
+		}
+		for nid, g := range asg {
+			if other[nid] != g {
+				return false
+			}
+		}
+	}
+	return true
+}

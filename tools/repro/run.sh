@@ -17,7 +17,10 @@ export CGO_ENABLED=0
 ROOT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)"
 cd "$ROOT_DIR"
 
-printf "== RNG stream derivation (golden values, independence) ==\n"
+printf "== rbvet: determinism/purity invariants of the planning stack ==\n"
+go run ./cmd/rbvet ./...
+
+printf "\n== RNG stream derivation (golden values, independence) ==\n"
 go test ./internal/stats -run "^(TestSplit|TestStream|TestHash64)" -count=1 -timeout=10m -v
 
 printf "\n== Simulator determinism across worker counts ==\n"
