@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet lint bench experiments examples repro clean
+.PHONY: all build test test-race vet lint bench experiments examples repro fuzz-short clean
 
 all: build vet lint test test-race
 
@@ -19,9 +19,18 @@ test:
 	go test ./...
 
 # Race-detector pass over the packages that fan work across goroutines
-# (Monte-Carlo sampling, candidate evaluation, stream derivation).
+# (Monte-Carlo sampling, candidate evaluation, stream derivation, and the
+# chaos harness's scenario fan-out).
 test-race:
-	go test -race -count=1 ./internal/sim ./internal/planner ./internal/stats ./internal/par
+	go test -race -count=1 ./internal/sim ./internal/planner ./internal/stats ./internal/par ./internal/harness
+
+# Bounded chaos pass for CI: a fixed scenario batch through every
+# invariant oracle with replay, then 30s of native fuzzing per target.
+# A reported failure reproduces with `go run ./cmd/rbfuzz -seed S -index I`.
+fuzz-short:
+	go run ./cmd/rbfuzz -seed 1 -n 128
+	go test ./internal/harness -run='^$$' -fuzz=FuzzEndToEnd -fuzztime=30s
+	go test ./internal/planner -run='^$$' -fuzz=FuzzPlanElastic -fuzztime=30s
 
 # Deterministic reproducibility harness (see tools/repro/run.sh for the
 # RB_RUN_REPEATABILITY / RB_RUN_BENCH gates).

@@ -1,6 +1,9 @@
 package cloud
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // FaultModel injects provider-side failures, extending the paper's
 // idealized assumptions (§3: "provisioning requests are always served",
@@ -19,13 +22,17 @@ type FaultModel struct {
 	PreemptionMeanSeconds float64
 }
 
-// Validate checks the fault parameters.
+// Validate checks the fault parameters. NaN values are rejected
+// explicitly: every comparison against NaN is false, so without these
+// checks a NaN probability or mean would slip through the range tests and
+// poison the provider's arithmetic (a NaN preemption delay panics the
+// virtual clock).
 func (f FaultModel) Validate() error {
-	if f.ProvisionFailureProb < 0 || f.ProvisionFailureProb >= 1 {
+	if math.IsNaN(f.ProvisionFailureProb) || f.ProvisionFailureProb < 0 || f.ProvisionFailureProb >= 1 {
 		return fmt.Errorf("cloud: provision failure probability %v outside [0,1)", f.ProvisionFailureProb)
 	}
-	if f.PreemptionMeanSeconds < 0 {
-		return fmt.Errorf("cloud: negative preemption mean %v", f.PreemptionMeanSeconds)
+	if math.IsNaN(f.PreemptionMeanSeconds) || math.IsInf(f.PreemptionMeanSeconds, 0) || f.PreemptionMeanSeconds < 0 {
+		return fmt.Errorf("cloud: invalid preemption mean %v", f.PreemptionMeanSeconds)
 	}
 	return nil
 }

@@ -1,0 +1,51 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFaultModelValidateBoundaries pins the exact edges of the accepted
+// parameter space. The NaN and Inf rows are regressions: NaN compares
+// false against everything, so before Validate checked for it explicitly
+// a NaN probability or preemption mean sailed through the range tests —
+// and a NaN (or +Inf) preemption delay panics the virtual clock.
+func TestFaultModelValidateBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		f    FaultModel
+		ok   bool
+	}{
+		{"zero model", FaultModel{}, true},
+		{"prob exactly 0", FaultModel{ProvisionFailureProb: 0}, true},
+		{"prob just under 1", FaultModel{ProvisionFailureProb: math.Nextafter(1, 0)}, true},
+		{"prob exactly 1", FaultModel{ProvisionFailureProb: 1}, false},
+		{"prob just over 1", FaultModel{ProvisionFailureProb: math.Nextafter(1, 2)}, false},
+		{"prob negative zero", FaultModel{ProvisionFailureProb: math.Copysign(0, -1)}, true},
+		{"prob tiny negative", FaultModel{ProvisionFailureProb: -math.SmallestNonzeroFloat64}, false},
+		{"prob NaN", FaultModel{ProvisionFailureProb: math.NaN()}, false},
+		{"prob +Inf", FaultModel{ProvisionFailureProb: math.Inf(1)}, false},
+		{"mean exactly 0 disables preemption", FaultModel{PreemptionMeanSeconds: 0}, true},
+		{"mean tiny positive", FaultModel{PreemptionMeanSeconds: math.SmallestNonzeroFloat64}, true},
+		{"mean negative", FaultModel{PreemptionMeanSeconds: -1}, false},
+		{"mean tiny negative", FaultModel{PreemptionMeanSeconds: -math.SmallestNonzeroFloat64}, false},
+		{"mean NaN", FaultModel{PreemptionMeanSeconds: math.NaN()}, false},
+		{"mean +Inf", FaultModel{PreemptionMeanSeconds: math.Inf(1)}, false},
+		{"mean -Inf", FaultModel{PreemptionMeanSeconds: math.Inf(-1)}, false},
+		{"both at valid extremes", FaultModel{
+			ProvisionFailureProb:  math.Nextafter(1, 0),
+			PreemptionMeanSeconds: math.SmallestNonzeroFloat64,
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate(%+v) = %v, want accept", tc.f, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate(%+v) accepted, want reject", tc.f)
+			}
+		})
+	}
+}

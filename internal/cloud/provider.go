@@ -116,6 +116,11 @@ func (in *Instance) BilledLifetime(now vclock.Time) float64 {
 // startOfBilling is the moment hardware was allocated and billing began.
 func (in *Instance) startOfBilling() vclock.Time { return in.billStart }
 
+// Billing reports whether the instance ever started billing (hardware was
+// allocated). A request that failed or was cancelled while still queued
+// never bills; cost oracles use this to reprice the ledger externally.
+func (in *Instance) Billing() bool { return in.billing }
+
 // Provider simulates the cloud control plane: it services provisioning
 // requests after a sampled queueing delay, runs initialization, and meters
 // cost. All methods must be called from the vclock event loop goroutine.
@@ -223,17 +228,26 @@ func (p *Provider) armPreemption(in *Instance) {
 		return
 	}
 	delay := stats.Exponential{MeanValue: p.faults.PreemptionMeanSeconds}.Sample(p.rng)
-	p.clock.After(delay, func() {
-		if in.State != Ready {
-			return // already released
-		}
-		in.State = Preempted
-		in.TerminatedAt = p.clock.Now()
-		p.preemptions++
-		if p.onPreempt != nil {
-			p.onPreempt(in)
-		}
-	})
+	p.clock.After(delay, func() { p.Preempt(in) })
+}
+
+// Preempt forcibly reclaims a Ready instance, as the stochastic fault
+// model would: billing stops, the preemption is counted, and the
+// registered preemption callback fires. It reports whether the instance
+// was actually preempted (false if it had already left the Ready state).
+// Besides serving the fault model's timers, it lets tests and the chaos
+// harness land a preemption at an exact virtual instant.
+func (p *Provider) Preempt(in *Instance) bool {
+	if in.State != Ready {
+		return false
+	}
+	in.State = Preempted
+	in.TerminatedAt = p.clock.Now()
+	p.preemptions++
+	if p.onPreempt != nil {
+		p.onPreempt(in)
+	}
+	return true
 }
 
 // Terminate releases the instance, stopping its billing clock. Terminating

@@ -103,6 +103,10 @@ func (m *Manager) Retries() int { return m.retries }
 // GPUsPerNode returns the accelerator count of the worker instance type.
 func (m *Manager) GPUsPerNode() int { return m.instType.GPUs }
 
+// InstanceType returns the worker instance type the manager provisions,
+// so cost oracles can reprice node lifetimes independently.
+func (m *Manager) InstanceType() cloud.InstanceType { return m.instType }
+
 // Size returns the number of ready nodes.
 func (m *Manager) Size() int { return len(m.ready) }
 

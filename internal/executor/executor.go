@@ -361,7 +361,7 @@ func (r *run) cumItersBefore(stage int) int {
 // ablation baseline).
 func (r *run) place() error {
 	if r.cfg.DisablePlacement {
-		r.plan = scatter(r.allocs, r.cfg.Cluster.Nodes())
+		r.plan = scatter(r.allocs, r.cfg.Cluster.Nodes(), r.plan)
 		if r.plan == nil {
 			return fmt.Errorf("executor: scatter placement failed")
 		}
@@ -377,7 +377,12 @@ func (r *run) place() error {
 
 // scatter assigns GPUs one at a time to the node with the most free
 // capacity — a worst-fit spread that models a locality-unaware scheduler.
-func scatter(allocs map[placement.TrialID]int, nodes []*cluster.Node) placement.Plan {
+// Trials already placed in prev keep their gangs when the allocation is
+// unchanged and every node still has the capacity: a slot hand-off or a
+// recovery re-place must not teleport a running gang to different GPUs
+// mid-iteration, or the freed-looking GPUs get double-booked (the same
+// preservation contract as placement.Controller.Update).
+func scatter(allocs map[placement.TrialID]int, nodes []*cluster.Node, prev placement.Plan) placement.Plan {
 	free := make(map[cluster.NodeID]int, len(nodes))
 	for _, n := range nodes {
 		free[n.ID] = n.GPUs
@@ -387,8 +392,32 @@ func scatter(allocs map[placement.TrialID]int, nodes []*cluster.Node) placement.
 		ids = append(ids, t)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
 	plan := make(placement.Plan, len(allocs))
 	for _, t := range ids {
+		asg, ok := prev[t]
+		if !ok || asg.GPUs() != allocs[t] {
+			continue
+		}
+		for nid, g := range asg {
+			if free[nid] < g {
+				ok = false
+			}
+		}
+		if !ok {
+			continue // a gang node vanished (preemption); re-place below
+		}
+		kept := make(placement.Assignment, len(asg))
+		for nid, g := range asg {
+			free[nid] -= g
+			kept[nid] = g
+		}
+		plan[t] = kept
+	}
+	for _, t := range ids {
+		if _, done := plan[t]; done {
+			continue
+		}
 		asg := make(placement.Assignment)
 		for g := 0; g < allocs[t]; g++ {
 			best := cluster.NodeID(-1)
@@ -439,7 +468,7 @@ func (r *run) startTrial(t *trial.Trial, iters int, withRestore bool) {
 		return
 	}
 	r.store.Put(ck)
-	r.tr.Record(now, trace.KindTrialStart, r.stage, int(t.ID()),
+	r.tr.RecordGang(now, trace.KindTrialStart, r.stage, int(t.ID()), gpus, nodes,
 		fmt.Sprintf("%d GPUs on %d nodes", gpus, nodes))
 	gen := r.gen[t.ID()]
 	r.cfg.Clock.After(restore, func() {

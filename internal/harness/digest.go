@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Digest is a 64-bit fingerprint of a run's observable behaviour: the full
+// event trace (times, kinds, stages, trials, gang shapes), the realized
+// result (JCT, cost, best trial, schedule rows) and the final trial
+// states. Two runs of the same scenario must produce equal digests; the
+// replay oracle and the determinism regression tests compare them.
+type Digest uint64
+
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// hasher is an incremental FNV-1a accumulator. Floats are folded by their
+// IEEE-754 bit patterns, so the digest is sensitive to the last ulp — the
+// standard the determinism suite holds the pipeline to.
+type hasher uint64
+
+func newHasher() hasher { return fnvOffset }
+
+func (h *hasher) u64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= (v >> (8 * i)) & 0xff
+		x *= fnvPrime
+	}
+	*h = hasher(x)
+}
+
+func (h *hasher) i64(v int64)   { h.u64(uint64(v)) }
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.u64(uint64(s[i]))
+	}
+}
+
+func (h *hasher) kind(k trace.Kind) { h.str(string(k)) }
+
+// ComputeDigest fingerprints the artifacts of one run.
+func ComputeDigest(a *Artifacts) Digest {
+	h := newHasher()
+
+	// Plan and prediction.
+	for _, g := range a.Plan.Alloc {
+		h.i64(int64(g))
+	}
+	if a.Planned {
+		h.f64(a.Estimate.JCT)
+		h.f64(a.Estimate.Cost)
+	}
+	h.f64(a.Deadline)
+
+	// Event trace, in recorded order.
+	events := a.Recorder.Events()
+	h.i64(int64(len(events)))
+	for _, e := range events {
+		h.f64(float64(e.At))
+		h.kind(e.Kind)
+		h.i64(int64(e.Stage))
+		h.i64(int64(e.Trial))
+		h.i64(int64(e.GPUs))
+		h.i64(int64(e.Nodes))
+	}
+	h.f64(a.Recorder.BusyGPUSeconds())
+
+	// Result.
+	h.f64(a.Result.JCT)
+	h.f64(a.Result.Cost)
+	h.i64(int64(a.Result.BestTrial))
+	h.f64(a.Result.BestAccuracy)
+	h.f64(a.Result.Utilization)
+	h.i64(int64(a.Result.Preemptions))
+	for _, row := range a.Result.Schedule {
+		h.i64(int64(row.Stage))
+		h.i64(int64(row.IterStart))
+		h.i64(int64(row.IterEnd))
+		h.i64(int64(row.Trials))
+		h.i64(int64(row.GPUsPerTrial))
+		h.i64(int64(row.ClusterNodes))
+		h.f64(float64(row.Start))
+		h.f64(float64(row.End))
+		h.f64(row.Cost)
+	}
+
+	// Final trial states.
+	for _, t := range a.Result.Trials {
+		h.i64(int64(t.ID()))
+		h.i64(int64(t.State()))
+		h.i64(int64(t.CumIters()))
+		if acc, ok := t.LatestAccuracy(); ok {
+			h.f64(acc)
+		}
+	}
+
+	// Billing ledger.
+	now := a.finishedAt()
+	h.i64(int64(len(a.Instances)))
+	for _, in := range a.Instances {
+		h.i64(int64(in.ID))
+		h.i64(int64(in.State))
+		h.f64(in.BilledLifetime(now))
+		h.f64(in.GPUSecondsUsed)
+	}
+	h.f64(a.DataCost)
+	h.i64(int64(a.Retries))
+
+	return Digest(h)
+}
+
+// CombineDigests folds per-scenario digests (in scenario-index order) into
+// one batch digest.
+func CombineDigests(ds []Digest) Digest {
+	h := newHasher()
+	for _, d := range ds {
+		h.u64(uint64(d))
+	}
+	return Digest(h)
+}

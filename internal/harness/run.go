@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/executor"
+	"repro/internal/planner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// maxSteps bounds the number of virtual-clock events one scenario may
+// execute. The largest generated scenarios finish in well under 100k
+// events; hitting the bound means the pipeline livelocked (for example, a
+// recovery loop that no longer makes progress), which is itself a
+// reportable bug rather than a reason to hang the harness.
+const maxSteps = 2_000_000
+
+// errLivelock is returned when a scenario exhausts maxSteps.
+var errLivelock = errors.New("harness: event budget exhausted before job completion (livelock?)")
+
+// Artifacts bundles everything a run produced that oracles inspect: the
+// plan and its prediction, the realized result, the full event trace, and
+// the provider-side billing state.
+type Artifacts struct {
+	Scenario Scenario
+	// Plan is the executed allocation plan. Planned reports whether it
+	// came from the elastic planner (true) or the 1-GPU-per-trial
+	// fallback used when the sampled deadline was infeasible.
+	Plan    sim.Plan
+	Planned bool
+	// Estimate is the planner's prediction (valid only when Planned).
+	Estimate sim.Estimate
+	// Deadline is the sampled job deadline in seconds.
+	Deadline float64
+	// Result is the realized execution outcome.
+	Result *executor.Result
+	// Recorder holds the full event trace and busy-GPU accounting.
+	Recorder *trace.Recorder
+	// Instances is the provider's complete instance ledger.
+	Instances []*cloud.Instance
+	// DataCost is the provider's accumulated ingress charge.
+	DataCost float64
+	// Retries counts provisioning requests reissued after failures.
+	Retries int
+	// GPN is the worker instance's GPU count.
+	GPN int
+	// Steps is the number of virtual-clock events executed.
+	Steps int
+}
+
+// finishedAt returns the virtual completion instant of the run.
+func (a *Artifacts) finishedAt() vclock.Time { return vclock.Time(a.Result.JCT) }
+
+// RunScenario executes one scenario end-to-end: it builds the simulator,
+// plans under the sampled deadline (falling back to a minimal elastic
+// plan when the deadline is infeasible), wires a faulty provider and
+// cluster manager on a fresh virtual clock, and drives the executor to
+// completion. Every random stream is derived from (BatchSeed, Index), so
+// repeated calls produce bit-identical artifacts.
+func RunScenario(sc Scenario) (*Artifacts, error) {
+	root := scenarioRoot(sc.BatchSeed, sc.Index)
+
+	// Plan. The simulator gets its own stream; planning runs serially so
+	// scenario-level parallelism composes without nested pools.
+	profile := sim.ModelTrainProfile{
+		Model:       sc.Model,
+		Batch:       sc.Model.BaseBatch,
+		GPUsPerNode: sc.Profile.Instance.GPUs,
+	}
+	sm, err := sim.New(sc.Spec, profile, sc.Profile, sc.Samples, root.Stream(streamSim), sim.WithWorkers(1))
+	if err != nil {
+		return nil, fmt.Errorf("harness: simulator: %w", err)
+	}
+	deadline := sm.StaticClusterJCT(sc.MaxGPUs) * sc.DeadlineFactor
+	p := &planner.Planner{Sim: sm, Deadline: deadline, MaxGPUs: sc.MaxGPUs, Workers: 1}
+	a := &Artifacts{Scenario: sc, Deadline: deadline, GPN: sc.Profile.Instance.GPUs}
+	if pres, perr := p.PlanElastic(); perr == nil {
+		a.Plan, a.Estimate, a.Planned = pres.Plan, pres.Estimate, true
+	} else {
+		// Infeasible deadline (or an equally deliberate planner refusal):
+		// execute the minimal elastic plan so the executor path is still
+		// exercised. The deadline oracle skips unplanned runs.
+		alloc := make([]int, sc.Spec.NumStages())
+		for i := range alloc {
+			alloc[i] = sc.Spec.Stage(i).Trials
+		}
+		a.Plan = sim.Plan{Alloc: alloc}
+	}
+
+	// Execute on a fresh substrate.
+	clock := vclock.New()
+	provider, err := cloud.NewProvider(clock, root.Stream(streamProvider),
+		sc.Profile.Pricing, sc.Profile.Overheads, sc.Profile.DatasetGB)
+	if err != nil {
+		return nil, fmt.Errorf("harness: provider: %w", err)
+	}
+	if err := provider.SetFaults(sc.Faults); err != nil {
+		return nil, fmt.Errorf("harness: faults: %w", err)
+	}
+	mgr, err := cluster.NewManager(provider, sc.Profile.Instance, clock)
+	if err != nil {
+		return nil, fmt.Errorf("harness: cluster: %w", err)
+	}
+	rec := trace.New()
+	job, err := executor.Start(executor.Config{
+		Spec:             sc.Spec,
+		Plan:             a.Plan,
+		Model:            sc.Model,
+		Batch:            sc.Model.BaseBatch,
+		Configs:          sc.Space.SampleN(root.Stream(streamConfigs), sc.Spec.TotalTrials()),
+		Provider:         provider,
+		Cluster:          mgr,
+		Clock:            clock,
+		RNG:              root.Stream(streamExecutor),
+		DisablePlacement: sc.DisablePlacement,
+		RestoreSeconds:   sc.RestoreSeconds,
+		Trace:            rec,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: start: %w", err)
+	}
+	for !job.Done() {
+		if a.Steps >= maxSteps {
+			return nil, errLivelock
+		}
+		if !clock.Step() {
+			return nil, fmt.Errorf("harness: event queue drained before completion")
+		}
+		a.Steps++
+	}
+	res, err := job.Result()
+	if err != nil {
+		return nil, fmt.Errorf("harness: run: %w", err)
+	}
+
+	a.Result = res
+	a.Recorder = rec
+	a.Instances = provider.Instances()
+	a.DataCost = provider.DataCost()
+	a.Retries = mgr.Retries()
+	return a, nil
+}

@@ -1,0 +1,94 @@
+package planner
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// FuzzPlanElastic fuzzes the elastic planner over sanitized experiment
+// shapes and deadlines and checks its contract: any returned plan is
+// valid for the spec, fits under MaxGPUs, meets the deadline by its own
+// estimate, and replanning from an identical simulator is bit-identical.
+// ErrInfeasible is the only acceptable refusal.
+func FuzzPlanElastic(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(8), uint64(4), uint64(12), uint64(16))
+	f.Add(uint64(7), uint64(4), uint64(10), uint64(2), uint64(8), uint64(32))
+	f.Add(uint64(42), uint64(1), uint64(3), uint64(5), uint64(25), uint64(4))
+	f.Add(uint64(99), uint64(3), uint64(6), uint64(1), uint64(10), uint64(6))
+	f.Fuzz(func(t *testing.T, seed, rawStages, rawTrials, rawIters, rawFactor, rawMax uint64) {
+		nStages := int(rawStages%4) + 1
+		trials := int(rawTrials%10) + 2
+		iters := int(rawIters%6) + 1
+		// Deadline factor in [0.5, 3.0): both infeasible and slack.
+		factor := 0.5 + float64(rawFactor%25)/10
+		maxGPUs := int(rawMax%32) + 1
+
+		s := spec.Empty()
+		for i := 0; i < nStages; i++ {
+			s = s.AddStage(trials, iters)
+			// Next stage keeps at most as many trials (early stopping).
+			trials = 1 + int((seed>>uint(4*i))%uint64(trials))
+		}
+
+		m := model.ResNet50()
+		m.IterNoiseStd = 0.1
+		prof := sim.ModelTrainProfile{Model: m, Batch: 512, GPUsPerNode: 4}
+		cp := sim.DefaultCloudProfile()
+		cp.Pricing.MinChargeSeconds = 0
+		cp.Overheads = cloud.Overheads{
+			QueueDelay:  stats.Deterministic{Value: 5},
+			InitLatency: stats.Deterministic{Value: 15},
+		}
+		newSim := func() *sim.Simulator {
+			sm, err := sim.New(s, prof, cp, 3, stats.NewRNG(seed), sim.WithWorkers(1))
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			return sm
+		}
+		sm := newSim()
+		deadline := sm.StaticClusterJCT(maxGPUs) * factor
+		p := &Planner{Sim: sm, Deadline: deadline, MaxGPUs: maxGPUs, Workers: 1}
+		res, err := p.PlanElastic()
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("unexpected planner error: %v", err)
+			}
+			return
+		}
+		if verr := res.Plan.Validate(s.NumStages()); verr != nil {
+			t.Fatalf("invalid plan %v: %v", res.Plan, verr)
+		}
+		if res.Plan.Max() > maxGPUs {
+			t.Fatalf("plan %v exceeds cap %d", res.Plan, maxGPUs)
+		}
+		if res.Estimate.JCT > deadline+1e-9 {
+			t.Fatalf("estimate %v misses deadline %v", res.Estimate.JCT, deadline)
+		}
+		if math.IsNaN(res.Estimate.Cost) || res.Estimate.Cost < 0 {
+			t.Fatalf("estimate cost %v", res.Estimate.Cost)
+		}
+
+		// Replanning from a fresh but identically seeded simulator must be
+		// bit-identical.
+		p2 := &Planner{Sim: newSim(), Deadline: deadline, MaxGPUs: maxGPUs, Workers: 1}
+		res2, err2 := p2.PlanElastic()
+		if err2 != nil {
+			t.Fatalf("replan failed: %v", err2)
+		}
+		if !res.Plan.Equal(res2.Plan) {
+			t.Fatalf("replan diverged: %v vs %v", res.Plan, res2.Plan)
+		}
+		if math.Float64bits(res.Estimate.JCT) != math.Float64bits(res2.Estimate.JCT) ||
+			math.Float64bits(res.Estimate.Cost) != math.Float64bits(res2.Estimate.Cost) {
+			t.Fatalf("replan estimate diverged: %+v vs %+v", res.Estimate, res2.Estimate)
+		}
+	})
+}

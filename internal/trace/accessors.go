@@ -1,0 +1,66 @@
+package trace
+
+import "sort"
+
+// Oracle-facing event accessors: the chaos harness (internal/harness)
+// checks system-wide invariants over recorded traces, and needs cheap,
+// allocation-honest views of the event log without re-implementing
+// filtering at every call site.
+
+// Filter returns the recorded events of the given kind, in record order.
+// Nil on a nil recorder.
+func (r *Recorder) Filter(kind Kind) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByTrial groups trial-scoped events (Trial >= 0) by trial ID, preserving
+// record order within each trial. Events with Trial < 0 (stage- or
+// cluster-scoped) are omitted. Nil on a nil recorder.
+func (r *Recorder) ByTrial() map[int][]Event {
+	if r == nil {
+		return nil
+	}
+	out := make(map[int][]Event)
+	for _, e := range r.events {
+		if e.Trial < 0 {
+			continue
+		}
+		out[e.Trial] = append(out[e.Trial], e)
+	}
+	return out
+}
+
+// Trials returns the sorted set of trial IDs that appear in the log.
+func (r *Recorder) Trials() []int {
+	byTrial := r.ByTrial()
+	ids := make([]int, 0, len(byTrial))
+	for id := range byTrial {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// CountTrial returns the number of events of the given kind recorded for
+// one trial.
+func (r *Recorder) CountTrial(kind Kind, trial int) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind && e.Trial == trial {
+			n++
+		}
+	}
+	return n
+}

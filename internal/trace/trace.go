@@ -38,6 +38,12 @@ type Event struct {
 	Stage int         `json:"stage"`
 	Trial int         `json:"trial"`
 	Note  string      `json:"note,omitempty"`
+	// GPUs and Nodes carry the structured gang shape for events that
+	// describe a placement (KindTrialStart): the trial's total GPU count
+	// and the number of distinct nodes its workers span. Zero for events
+	// recorded without placement information.
+	GPUs  int `json:"gpus,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
 }
 
 // Recorder accumulates events and GPU-usage accounting. The zero value is
@@ -58,6 +64,19 @@ func (r *Recorder) Record(at vclock.Time, kind Kind, stage, trial int, note stri
 		return
 	}
 	r.events = append(r.events, Event{At: at, Kind: kind, Stage: stage, Trial: trial, Note: note})
+}
+
+// RecordGang appends an event carrying a structured gang shape (total
+// GPUs and distinct node count), for oracle-facing consumers that must
+// not parse free-form notes. No-op on a nil recorder.
+func (r *Recorder) RecordGang(at vclock.Time, kind Kind, stage, trial, gpus, nodes int, note string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		At: at, Kind: kind, Stage: stage, Trial: trial,
+		Note: note, GPUs: gpus, Nodes: nodes,
+	})
 }
 
 // AddBusy accumulates gpuSeconds of productive GPU time.
