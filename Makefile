@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet lint bench experiments examples repro fuzz-short clean
+.PHONY: all build test test-race vet lint bench bench-plan experiments examples repro fuzz-short clean
 
 all: build vet lint test test-race
 
@@ -44,6 +44,13 @@ record:
 
 bench:
 	go test -bench=. -benchmem
+
+# Planning hot-path benchmark: sim.Estimate and planner.PlanElastic at
+# samples {20,100} under both estimator modes, workers=1. Emits
+# BENCH_plan.json; the human-readable record lives in
+# results/estimator_bench.md.
+bench-plan:
+	go run ./cmd/rbbench -out BENCH_plan.json
 
 # Regenerate every paper table/figure at full size (see EXPERIMENTS.md).
 experiments:

@@ -279,6 +279,65 @@ func BenchmarkPlanElastic100(b *testing.B) {
 	}
 }
 
+// benchSimulatorMode is benchSimulatorWorkers with an explicit estimator
+// mode.
+func benchSimulatorMode(b *testing.B, samples, workers int, mode sim.EstimatorMode) *sim.Simulator {
+	b.Helper()
+	s := spec.MustSHA(64, 4, 508, 2)
+	prof := sim.ModelTrainProfile{Model: model.ResNet50(), Batch: 512, GPUsPerNode: 4}
+	cp := sim.DefaultCloudProfile()
+	cp.Overheads = cloud.Overheads{
+		QueueDelay:  stats.Deterministic{Value: 5},
+		InitLatency: stats.Deterministic{Value: 15},
+	}
+	sm, err := sim.New(s, prof, cp, samples, stats.NewRNG(1), sim.WithWorkers(workers), sim.WithEstimator(mode))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sm
+}
+
+func benchEstimatorModes() []sim.EstimatorMode {
+	return []sim.EstimatorMode{sim.EstimatorSegment, sim.EstimatorFull}
+}
+
+// BenchmarkPlanElastic100Estimator compares the estimator modes on the
+// speedup-claim configuration (samples=100, workers=1, shared simulator).
+// The segment mode's caches stay warm across iterations, mirroring how a
+// long-lived simulator serves successive plan compilations.
+func BenchmarkPlanElastic100Estimator(b *testing.B) {
+	for _, mode := range benchEstimatorModes() {
+		b.Run(fmt.Sprintf("estimator=%v", mode), func(b *testing.B) {
+			sm := benchSimulatorMode(b, 100, 1, mode)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := &planner.Planner{Sim: sm, Deadline: 900, MaxGPUs: 128, Workers: 1}
+				if _, err := p.PlanElastic(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanElastic100Cold rebuilds the Simulator every iteration, so
+// every segment is compiled and sampled from scratch — the honest
+// cold-start cost of one plan compilation, with no cross-iteration cache
+// reuse.
+func BenchmarkPlanElastic100Cold(b *testing.B) {
+	for _, mode := range benchEstimatorModes() {
+		b.Run(fmt.Sprintf("estimator=%v", mode), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sm := benchSimulatorMode(b, 100, 1, mode)
+				p := &planner.Planner{Sim: sm, Deadline: 900, MaxGPUs: 128, Workers: 1}
+				if _, err := p.PlanElastic(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPlacementUpdate measures one placement epoch: 32 trials
 // reassigned across 16 nodes (Algorithm 3).
 func BenchmarkPlacementUpdate(b *testing.B) {

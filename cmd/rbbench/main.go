@@ -1,0 +1,158 @@
+// Command rbbench measures the planning hot path with Go's benchmark
+// machinery and emits machine-readable results, so performance
+// regressions in the estimator stack are visible in CI and recorded in
+// the repository.
+//
+// It benchmarks sim.Estimate (one plan evaluation, warm caches) and
+// planner.PlanElastic (a full greedy compilation on a fresh planner and,
+// separately, on a fresh simulator) at Monte-Carlo sample counts 20 and
+// 100, under both estimator modes, at workers=1 — the configuration the
+// repository's speedup claims are stated against.
+//
+// Usage:
+//
+//	rbbench -out BENCH_plan.json            # full run
+//	rbbench -benchtime 100ms -out /dev/stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"testing"
+)
+
+// Result is one benchmark measurement in the emitted JSON.
+type Result struct {
+	// Name identifies the benchmark: estimate, plan_elastic (fresh
+	// planner, shared simulator) or plan_elastic_cold (fresh simulator
+	// per iteration).
+	Name string `json:"name"`
+	// Samples is the simulator's Monte-Carlo sample count.
+	Samples int `json:"samples"`
+	// Estimator is the mode ("segment" or "full").
+	Estimator string `json:"estimator"`
+	// Workers is the Monte-Carlo worker bound (always 1 here).
+	Workers int `json:"workers"`
+	// N is the iteration count the timing averaged over.
+	N int `json:"n"`
+	// NsPerOp, AllocsPerOp and BytesPerOp are the usual benchmark
+	// metrics.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func newSimulator(samples int, mode sim.EstimatorMode) (*sim.Simulator, error) {
+	s := spec.MustSHA(64, 4, 508, 2)
+	prof := sim.ModelTrainProfile{Model: model.ResNet50(), Batch: 512, GPUsPerNode: 4}
+	cp := sim.DefaultCloudProfile()
+	cp.Overheads = cloud.Overheads{
+		QueueDelay:  stats.Deterministic{Value: 5},
+		InitLatency: stats.Deterministic{Value: 15},
+	}
+	return sim.New(s, prof, cp, samples, stats.NewRNG(1), sim.WithWorkers(1), sim.WithEstimator(mode))
+}
+
+// measure runs fn under testing.Benchmark and converts the outcome.
+func measure(name string, samples int, mode sim.EstimatorMode, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		Samples:     samples,
+		Estimator:   mode.String(),
+		Workers:     1,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func run(benchtime time.Duration, out string) error {
+	// testing.Benchmark sizes runs off the -test.benchtime flag; set it
+	// explicitly so rbbench behaves the same outside `go test`.
+	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		return err
+	}
+
+	var results []Result
+	for _, samples := range []int{20, 100} {
+		for _, mode := range []sim.EstimatorMode{sim.EstimatorSegment, sim.EstimatorFull} {
+			sm, err := newSimulator(samples, mode)
+			if err != nil {
+				return err
+			}
+			plan := sim.Uniform(32, sm.Spec().NumStages())
+			if _, err := sm.Estimate(plan); err != nil { // warm caches once
+				return err
+			}
+			results = append(results, measure("estimate", samples, mode, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sm.Estimate(plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			results = append(results, measure("plan_elastic", samples, mode, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := &planner.Planner{Sim: sm, Deadline: 900, MaxGPUs: 128, Workers: 1}
+					if _, err := p.PlanElastic(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			results = append(results, measure("plan_elastic_cold", samples, mode, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cold, err := newSimulator(samples, mode)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p := &planner.Planner{Sim: cold, Deadline: 900, MaxGPUs: 128, Workers: 1}
+					if _, err := p.PlanElastic(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			fmt.Fprintf(os.Stderr, "rbbench: samples=%d estimator=%v done\n", samples, mode)
+		}
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" || out == "/dev/stdout" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+func main() {
+	// testing.Benchmark reads the test flag set; it must be registered
+	// before flag.Parse touches it.
+	testing.Init()
+	var (
+		out       = flag.String("out", "BENCH_plan.json", "output path for the JSON results (- for stdout)")
+		benchtime = flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	)
+	flag.Parse()
+	if err := run(*benchtime, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "rbbench:", err)
+		os.Exit(1)
+	}
+}

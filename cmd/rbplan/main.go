@@ -36,9 +36,14 @@ func main() {
 		samples   = flag.Int("samples", 20, "simulator Monte-Carlo samples per plan")
 		workers   = flag.Int("workers", 0, "planning concurrency: Monte-Carlo and candidate-evaluation workers (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 		breakdown = flag.Bool("breakdown", false, "print the RubberBand plan's per-stage time/cost decomposition")
+		estimator = flag.String("estimator", "segment", "Monte-Carlo estimator: segment (incremental, cached stage segments) or full (reference full-DAG streams)")
 	)
 	flag.Parse()
 
+	mode, err := sim.ParseEstimator(*estimator)
+	if err != nil {
+		fatal(err)
+	}
 	m, err := model.ByName(*modelName)
 	if err != nil {
 		fatal(err)
@@ -52,14 +57,15 @@ func main() {
 
 	for _, policy := range []core.Policy{core.PolicyStatic, core.PolicyNaiveElastic, core.PolicyRubberBand} {
 		exp := &core.Experiment{
-			Model:    m,
-			Space:    searchspace.DefaultVisionSpace(),
-			Spec:     sha,
-			Deadline: *deadline,
-			Policy:   policy,
-			Seed:     *seed,
-			Samples:  *samples,
-			Workers:  *workers,
+			Model:     m,
+			Space:     searchspace.DefaultVisionSpace(),
+			Spec:      sha,
+			Deadline:  *deadline,
+			Policy:    policy,
+			Seed:      *seed,
+			Samples:   *samples,
+			Workers:   *workers,
+			Estimator: mode,
 		}
 		res, _, err := exp.Plan()
 		if err != nil {
@@ -73,18 +79,18 @@ func main() {
 			policy, res.Plan.String(), res.Estimate.JCT, res.Estimate.Cost)
 
 		if *breakdown && policy == core.PolicyRubberBand {
-			printBreakdown(m, sha, *seed, *samples, *workers, res.Plan)
+			printBreakdown(m, sha, *seed, *samples, *workers, mode, res.Plan)
 		}
 	}
 }
 
 // printBreakdown re-simulates the chosen plan and prints its per-stage
 // decomposition.
-func printBreakdown(m *model.Model, sha *spec.ExperimentSpec, seed uint64, samples, workers int, plan sim.Plan) {
+func printBreakdown(m *model.Model, sha *spec.ExperimentSpec, seed uint64, samples, workers int, mode sim.EstimatorMode, plan sim.Plan) {
 	cp := sim.DefaultCloudProfile()
 	cp.DatasetGB = m.Dataset.SizeGB
 	prof := sim.ModelTrainProfile{Model: m, Batch: m.BaseBatch, GPUsPerNode: cp.Instance.GPUs}
-	sm, err := sim.New(sha, prof, cp, samples, stats.NewRNG(seed+1), sim.WithWorkers(workers))
+	sm, err := sim.New(sha, prof, cp, samples, stats.NewRNG(seed+1), sim.WithWorkers(workers), sim.WithEstimator(mode))
 	if err != nil {
 		fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/searchspace"
+	"repro/internal/sim"
 	"repro/internal/spec"
 )
 
@@ -36,8 +37,13 @@ func main() {
 		samples   = flag.Int("samples", 10, "simulator Monte-Carlo samples per plan")
 		workers   = flag.Int("workers", 0, "planning concurrency: Monte-Carlo and candidate-evaluation workers (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 		format    = flag.String("format", "text", "output format: text or csv")
+		estimator = flag.String("estimator", "segment", "Monte-Carlo estimator: segment (incremental, cached stage segments) or full (reference full-DAG streams)")
 	)
 	flag.Parse()
+	mode, err := sim.ParseEstimator(*estimator)
+	if err != nil {
+		fatal(err)
+	}
 	if *steps < 2 {
 		fatal(fmt.Errorf("need at least 2 steps"))
 	}
@@ -68,13 +74,14 @@ func main() {
 	for i := 0; i < *steps; i++ {
 		deadline := *from + time.Duration(i)*step
 		exp := &core.Experiment{
-			Model:    m,
-			Space:    searchspace.DefaultVisionSpace(),
-			Spec:     sha,
-			Deadline: deadline,
-			Seed:     *seed,
-			Samples:  *samples,
-			Workers:  *workers,
+			Model:     m,
+			Space:     searchspace.DefaultVisionSpace(),
+			Spec:      sha,
+			Deadline:  deadline,
+			Seed:      *seed,
+			Samples:   *samples,
+			Workers:   *workers,
+			Estimator: mode,
 		}
 		exp.Policy = core.PolicyStatic
 		st, _, err := exp.Plan()

@@ -90,6 +90,11 @@ type Experiment struct {
 	// pool. Zero selects GOMAXPROCS; 1 forces fully serial planning.
 	// Planning output is bit-identical at any worker count.
 	Workers int
+	// Estimator selects the simulator's Monte-Carlo estimator mode. The
+	// zero value is sim.EstimatorSegment (incremental stage-segment
+	// sampling with common random numbers); sim.EstimatorFull selects the
+	// reference full-DAG stream discipline.
+	Estimator sim.EstimatorMode
 	// MaxGPUs caps cluster size during planning (default per planner).
 	MaxGPUs int
 	// UseProfiler plans from a measured scaling profile (powers-of-two
@@ -173,7 +178,7 @@ func (e *Experiment) buildPlanner() (*planner.Planner, float64, error) {
 	} else {
 		prof = sim.ModelTrainProfile{Model: e.Model, Batch: e.batch(), GPUsPerNode: cp.Instance.GPUs}
 	}
-	sm, err := sim.New(e.Spec, prof, cp, e.Samples, stats.NewRNG(e.Seed+1), sim.WithWorkers(e.Workers))
+	sm, err := sim.New(e.Spec, prof, cp, e.Samples, stats.NewRNG(e.Seed+1), sim.WithWorkers(e.Workers), sim.WithEstimator(e.Estimator))
 	if err != nil {
 		return nil, 0, err
 	}

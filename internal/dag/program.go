@@ -1,0 +1,202 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// opcode tags one node's latency distribution in a compiled Program. The
+// common distributions are inlined as opcodes with their parameters in
+// flat float64 arrays, so sampling them is a branch-predictable switch
+// with no interface dispatch; anything else falls back to the dist table.
+type opcode uint8
+
+const (
+	opDet       opcode = iota // point mass: p0
+	opNormal                  // max(0, N(p0, p1))
+	opLogNormal               // exp(N(p0, p1))
+	opUniform                 // uniform [p0, p1)
+	opExp                     // exponential with mean p0
+	opPareto                  // pareto(scale=p0, alpha=p1)
+	opRepeat                  // sum of cnt draws from dists[aux]
+	opDist                    // opaque: dists[aux].Sample
+)
+
+// Program is a Graph compiled into a flat structure-of-arrays form for
+// repeated Monte-Carlo sampling: dependency edges in CSR layout and
+// latency distributions as tagged-union opcodes with inline parameters.
+// Sampling a Program visits nodes in one linear pass with no per-node
+// pointer chasing and, for the built-in distribution types, no interface
+// calls. A Program is immutable after Compile and safe for concurrent use
+// by any number of goroutines (each with its own RNG and scratch buffer).
+type Program struct {
+	// depStart[i]..depStart[i+1] indexes deps, the CSR edge array of
+	// node i's dependencies (local node indices).
+	depStart []int32
+	deps     []int32
+	op       []opcode
+	p0, p1   []float64
+	// aux indexes dists for opRepeat/opDist nodes (-1 otherwise); cnt is
+	// the draw count for opRepeat nodes.
+	aux   []int32
+	cnt   []int32
+	dists []stats.Dist
+	n     int
+}
+
+// Compile translates a whole graph into a Program. Sampling the Program
+// is bit-identical to Graph.SampleInto given the same generator: opcodes
+// reproduce each distribution's Sample arithmetic and RNG draw order
+// exactly.
+func Compile(g *Graph) *Program { return CompileRange(g, 0, g.Len()) }
+
+// CompileRange compiles the node slice [lo, hi) of a graph into a
+// standalone Program. Dependencies on nodes before lo are dropped: the
+// compiled sub-program treats them as an implicit time-zero source, so a
+// sub-DAG whose only external edges come from a single barrier node
+// samples the same schedule as the full graph, shifted to start at zero.
+// It panics if the range is out of bounds.
+func CompileRange(g *Graph, lo, hi int) *Program {
+	if lo < 0 || hi < lo || hi > g.Len() {
+		panic(fmt.Sprintf("dag: CompileRange [%d, %d) out of bounds for %d nodes", lo, hi, g.Len()))
+	}
+	n := hi - lo
+	p := &Program{
+		depStart: make([]int32, n+1),
+		op:       make([]opcode, n),
+		p0:       make([]float64, n),
+		p1:       make([]float64, n),
+		aux:      make([]int32, n),
+		cnt:      make([]int32, n),
+		n:        n,
+	}
+	edges := 0
+	for i := 0; i < n; i++ {
+		for _, d := range g.nodes[lo+i].deps {
+			if d >= lo {
+				edges++
+			}
+		}
+	}
+	p.deps = make([]int32, 0, edges)
+	for i := 0; i < n; i++ {
+		p.depStart[i] = int32(len(p.deps))
+		for _, d := range g.nodes[lo+i].deps {
+			if d >= lo {
+				p.deps = append(p.deps, int32(d-lo))
+			}
+		}
+		p.compileOp(i, g.nodes[lo+i].Latency)
+	}
+	p.depStart[n] = int32(len(p.deps))
+	return p
+}
+
+// compileOp encodes one latency distribution at node slot i.
+func (p *Program) compileOp(i int, d stats.Dist) {
+	p.aux[i] = -1
+	switch v := d.(type) {
+	case stats.Deterministic:
+		p.op[i] = opDet
+		p.p0[i] = v.Value
+	case stats.Normal:
+		p.op[i] = opNormal
+		p.p0[i], p.p1[i] = v.Mu, v.Sigma
+	case stats.LogNormal:
+		p.op[i] = opLogNormal
+		p.p0[i], p.p1[i] = v.Mu, v.Sigma
+	case stats.Uniform:
+		p.op[i] = opUniform
+		p.p0[i], p.p1[i] = v.Lo, v.Hi
+	case stats.Exponential:
+		p.op[i] = opExp
+		p.p0[i] = v.MeanValue
+	case stats.Pareto:
+		p.op[i] = opPareto
+		p.p0[i], p.p1[i] = v.Scale, v.Alpha
+	case stats.Repeat:
+		p.op[i] = opRepeat
+		p.aux[i] = int32(len(p.dists))
+		p.cnt[i] = int32(v.N)
+		p.dists = append(p.dists, v.D)
+	default:
+		p.op[i] = opDist
+		p.aux[i] = int32(len(p.dists))
+		p.dists = append(p.dists, d)
+	}
+}
+
+// Len returns the compiled node count.
+func (p *Program) Len() int { return p.n }
+
+// Sample draws one execution of the compiled graph, allocating a fresh
+// timings slice. See SampleInto.
+func (p *Program) Sample(r *stats.RNG) ([]Timing, float64) {
+	return p.SampleInto(r, nil)
+}
+
+// SampleInto draws one execution of the compiled graph into buf (reused
+// when it has sufficient capacity): each node starts at the max finish
+// time of its compiled dependencies and its latency is sampled from the
+// node's opcode. It returns the per-node timings and the makespan.
+// Latency opcodes consume RNG draws exactly as the distributions they
+// encode, so for a full-graph Program the result is bit-identical to
+// Graph.SampleInto with the same generator.
+func (p *Program) SampleInto(r *stats.RNG, buf []Timing) ([]Timing, float64) {
+	var timings []Timing
+	if cap(buf) >= p.n {
+		timings = buf[:p.n]
+	} else {
+		timings = make([]Timing, p.n)
+	}
+	var makespan float64
+	for i := 0; i < p.n; i++ {
+		start := 0.0
+		for _, d := range p.deps[p.depStart[i]:p.depStart[i+1]] {
+			if f := timings[d].Finish; f > start {
+				start = f
+			}
+		}
+		var lat float64
+		switch p.op[i] {
+		case opDet:
+			lat = p.p0[i]
+		case opNormal:
+			lat = p.p0[i] + p.p1[i]*r.NormFloat64()
+			if lat < 0 {
+				lat = 0
+			}
+		case opLogNormal:
+			lat = math.Exp(p.p0[i] + p.p1[i]*r.NormFloat64())
+		case opUniform:
+			lat = p.p0[i] + (p.p1[i]-p.p0[i])*r.Float64()
+		case opExp:
+			u := r.Float64()
+			if u >= 1 {
+				u = math.Nextafter(1, 0)
+			}
+			lat = -p.p0[i] * math.Log(1-u)
+		case opPareto:
+			u := r.Float64()
+			if u == 0 {
+				u = math.Nextafter(0, 1)
+			}
+			lat = p.p0[i] / math.Pow(u, 1/p.p1[i])
+		case opRepeat:
+			d := p.dists[p.aux[i]]
+			for j := int32(0); j < p.cnt[i]; j++ {
+				lat += d.Sample(r)
+			}
+		default:
+			lat = p.dists[p.aux[i]].Sample(r)
+		}
+		f := start + lat
+		timings[i] = Timing{Start: start, Finish: f}
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return timings, makespan
+}

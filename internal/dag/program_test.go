@@ -1,0 +1,130 @@
+package dag
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// opaque is a distribution type the compiler does not know, forcing the
+// dist-table fallback opcode.
+type opaque struct{ d stats.Dist }
+
+func (o opaque) Sample(r *stats.RNG) float64 { return o.d.Sample(r) }
+func (o opaque) Mean() float64               { return o.d.Mean() }
+func (o opaque) String() string              { return "opaque(" + o.d.String() + ")" }
+
+// mixedGraph builds a DAG exercising every opcode: all built-in
+// distribution types, the Repeat sum, and an opaque fallback, over a
+// diamond-and-chain dependency structure.
+func mixedGraph() *Graph {
+	g := New()
+	a := g.AddNode(Scale, 0, -1, 0, stats.Exponential{MeanValue: 5})
+	b := g.AddNode(InitInstance, 0, -1, 0, stats.Normal{Mu: 15, Sigma: 3}, a.ID)
+	c := g.AddNode(InitInstance, 0, -1, 0, stats.LogNormal{Mu: 2, Sigma: 0.5}, a.ID)
+	d := g.AddNode(Train, 0, 0, 2, stats.Uniform{Lo: 1, Hi: 4}, b.ID, c.ID)
+	e := g.AddNode(Train, 0, 1, 2, stats.Pareto{Scale: 2, Alpha: 2.5}, b.ID, c.ID)
+	f := g.AddNode(Train, 0, 2, 2, stats.Repeat{D: stats.Exponential{MeanValue: 0.5}, N: 7}, b.ID, c.ID)
+	h := g.AddNode(Train, 0, 3, 2, opaque{stats.Normal{Mu: 4, Sigma: 1}}, d.ID)
+	i := g.AddNode(Sync, 0, -1, 0, stats.Deterministic{Value: 0}, d.ID, e.ID, f.ID, h.ID)
+	g.AddNode(Train, 1, 4, 4, stats.Normal{Mu: 30, Sigma: 6}, i.ID)
+	return g
+}
+
+// TestProgramMatchesGraphSample: the compiled program is bit-identical to
+// interface-dispatch sampling for every opcode, across many draws from a
+// shared stream family.
+func TestProgramMatchesGraphSample(t *testing.T) {
+	g := mixedGraph()
+	p := Compile(g)
+	if p.Len() != g.Len() {
+		t.Fatalf("program has %d nodes, graph %d", p.Len(), g.Len())
+	}
+	root := stats.NewRNG(42)
+	var gbuf, pbuf []Timing
+	for k := 0; k < 200; k++ {
+		var gm, pm float64
+		gbuf, gm = g.SampleInto(root.Stream(uint64(k)), gbuf)
+		pbuf, pm = p.SampleInto(root.Stream(uint64(k)), pbuf)
+		if gm != pm {
+			t.Fatalf("draw %d: makespan %v != graph %v", k, pm, gm)
+		}
+		for i := range gbuf {
+			if gbuf[i] != pbuf[i] {
+				t.Fatalf("draw %d node %d: timing %+v != graph %+v", k, i, pbuf[i], gbuf[i])
+			}
+		}
+	}
+}
+
+// TestCompileRangeDropsExternalDeps: a sub-program whose only external
+// edges come from a single barrier samples the same schedule as the full
+// graph shifted to start at zero — with deterministic latencies, exactly.
+func TestCompileRangeDropsExternalDeps(t *testing.T) {
+	g := New()
+	a := g.AddNode(Train, 0, 0, 1, stats.Deterministic{Value: 3})
+	s0 := g.AddNode(Sync, 0, -1, 0, stats.Deterministic{Value: 0}, a.ID)
+	b := g.AddNode(Scale, 1, -1, 0, stats.Deterministic{Value: 2}, s0.ID)
+	c := g.AddNode(Train, 1, 1, 1, stats.Deterministic{Value: 5}, b.ID, s0.ID)
+	g.AddNode(Sync, 1, -1, 0, stats.Deterministic{Value: 0}, c.ID)
+
+	sub := CompileRange(g, b.ID, g.Len())
+	if sub.Len() != 3 {
+		t.Fatalf("sub-program has %d nodes, want 3", sub.Len())
+	}
+	timings, makespan := sub.Sample(stats.NewRNG(1))
+	if makespan != 7 { // scale 2 + train 5, zero-based
+		t.Fatalf("sub makespan %v, want 7", makespan)
+	}
+	full, fm := g.Sample(stats.NewRNG(1))
+	if fm != 10 {
+		t.Fatalf("full makespan %v, want 10", fm)
+	}
+	base := full[s0.ID].Finish
+	for i, ft := range full[b.ID:] {
+		want := Timing{Start: ft.Start - base, Finish: ft.Finish - base}
+		if timings[i] != want {
+			t.Fatalf("sub node %d: %+v, want %+v", i, timings[i], want)
+		}
+	}
+}
+
+// TestCompileRangeBounds: out-of-range compiles panic rather than
+// producing a silently wrong program.
+func TestCompileRangeBounds(t *testing.T) {
+	g := mixedGraph()
+	for _, r := range [][2]int{{-1, 2}, {3, 2}, {0, g.Len() + 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CompileRange(%d, %d) did not panic", r[0], r[1])
+				}
+			}()
+			CompileRange(g, r[0], r[1])
+		}()
+	}
+}
+
+// TestProgramSampleZeroAlloc: with a warm scratch buffer, sampling the
+// compiled program allocates nothing.
+func TestProgramSampleZeroAlloc(t *testing.T) {
+	p := Compile(mixedGraph())
+	rng := stats.NewRNG(7)
+	buf, _ := p.SampleInto(rng, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, _ = p.SampleInto(rng, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("Program.SampleInto allocates %v per draw, want 0", allocs)
+	}
+}
+
+func BenchmarkProgramSample(b *testing.B) {
+	p := Compile(mixedGraph())
+	rng := stats.NewRNG(3)
+	var buf []Timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = p.SampleInto(rng, buf)
+	}
+}

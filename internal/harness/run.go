@@ -72,7 +72,7 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 		Batch:       sc.Model.BaseBatch,
 		GPUsPerNode: sc.Profile.Instance.GPUs,
 	}
-	sm, err := sim.New(sc.Spec, profile, sc.Profile, sc.Samples, root.Stream(streamSim), sim.WithWorkers(1))
+	sm, err := sim.New(sc.Spec, profile, sc.Profile, sc.Samples, root.Stream(streamSim), sim.WithWorkers(1), sim.WithEstimator(sc.Estimator))
 	if err != nil {
 		return nil, fmt.Errorf("harness: simulator: %w", err)
 	}

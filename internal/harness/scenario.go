@@ -54,6 +54,10 @@ type Scenario struct {
 	// the job deadline. Factors near or below 1 are often infeasible,
 	// deliberately exercising the planner-failure fallback path.
 	DeadlineFactor float64
+	// Estimator selects the simulator's Monte-Carlo estimator mode, so
+	// the chaos sweep exercises both the incremental segment estimator
+	// and the full-DAG reference.
+	Estimator sim.EstimatorMode
 }
 
 // Stream indices for the per-scenario RNG tree. Generate and RunScenario
@@ -174,6 +178,9 @@ func Generate(seed uint64, index int) Scenario {
 		MaxGPUs:          maxGPUs,
 		Samples:          4,
 		DeadlineFactor:   uniform(r, 0.8, 2.5),
+		// Drawn last so pre-existing scenario corpora keep every other
+		// field for a given (seed, index).
+		Estimator: pick(r, sim.EstimatorSegment, sim.EstimatorFull),
 	}
 }
 
@@ -181,9 +188,9 @@ func Generate(seed uint64, index int) Scenario {
 func (sc Scenario) String() string {
 	return fmt.Sprintf(
 		"seed=%d index=%d spec=%v model=%s inst=%s billing=%v market=%v minCharge=%gs dataGB=%.1f "+
-			"faults={pfail=%.3f preemptMean=%.0fs} restore=%.1fs scatter=%v maxGPUs=%d deadlineFactor=%.2f",
+			"faults={pfail=%.3f preemptMean=%.0fs} restore=%.1fs scatter=%v maxGPUs=%d deadlineFactor=%.2f estimator=%v",
 		sc.BatchSeed, sc.Index, sc.Spec, sc.Model.Name, sc.Profile.Instance.Name,
 		sc.Profile.Pricing.Billing, sc.Profile.Pricing.Market, sc.Profile.Pricing.MinChargeSeconds,
 		sc.Profile.DatasetGB, sc.Faults.ProvisionFailureProb, sc.Faults.PreemptionMeanSeconds,
-		sc.RestoreSeconds, sc.DisablePlacement, sc.MaxGPUs, sc.DeadlineFactor)
+		sc.RestoreSeconds, sc.DisablePlacement, sc.MaxGPUs, sc.DeadlineFactor, sc.Estimator)
 }

@@ -73,6 +73,45 @@ func TestPlanDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestPlanElasticDeterministicPerEstimator re-runs the elastic policy's
+// determinism check under each estimator mode explicitly: within a mode
+// the chosen plan and bitwise estimate must not vary with worker count or
+// repetition. (The default-mode test above covers EstimatorSegment; this
+// pins EstimatorFull and guards the default against silent drift.)
+func TestPlanElasticDeterministicPerEstimator(t *testing.T) {
+	build := func(workers int, mode sim.EstimatorMode) *Planner {
+		s := spec.MustSHA(16, 2, 16, 2)
+		prof := sim.ModelTrainProfile{Model: model.ResNet50(), Batch: 512, GPUsPerNode: 4}
+		cp := sim.DefaultCloudProfile()
+		cp.Overheads = cloud.Overheads{
+			QueueDelay:  stats.Exponential{MeanValue: 5},
+			InitLatency: stats.Normal{Mu: 15, Sigma: 3},
+		}
+		sm, err := sim.New(s, prof, cp, 10, stats.NewRNG(11), sim.WithWorkers(workers), sim.WithEstimator(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Planner{Sim: sm, Deadline: 1200, MaxGPUs: 32, Workers: workers}
+	}
+	for _, mode := range []sim.EstimatorMode{sim.EstimatorSegment, sim.EstimatorFull} {
+		want, err := build(1, mode).PlanElastic()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for _, workers := range []int{2, 8} {
+			for run := 0; run < 2; run++ {
+				got, err := build(workers, mode).PlanElastic()
+				if err != nil {
+					t.Fatalf("%v workers=%d: %v", mode, workers, err)
+				}
+				if !got.Plan.Equal(want.Plan) || got.Estimate != want.Estimate {
+					t.Fatalf("%v workers=%d run=%d: %+v != serial %+v", mode, workers, run, got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestPlanMinJCTDeterministicAcrossWorkers covers the dual planner's
 // parallel paths the same way.
 func TestPlanMinJCTDeterministicAcrossWorkers(t *testing.T) {

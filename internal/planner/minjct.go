@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/par"
 	"repro/internal/sim"
+	"repro/internal/spec"
 )
 
 // PlanMinJCT solves the dual problem the paper notes its techniques
@@ -54,8 +55,11 @@ func (p *Planner) PlanMinJCT(budget float64) (Result, error) {
 	}
 
 	cur := best
+	sp := p.Sim.Spec()
+	gpn := p.Sim.Cloud().Instance.GPUs
+	maxGPUs := p.maxGPUs()
 	for {
-		cands := p.generateUpCandidates(cur.Plan)
+		cands := generateUpCandidates(cur.Plan, sp, gpn, maxGPUs)
 		if len(cands) == 0 {
 			break
 		}
@@ -111,11 +115,10 @@ func jctBenefit(cur, cand sim.Estimate) float64 {
 
 // generateUpCandidates produces per-stage increments of the current plan:
 // the next higher fair value, and the smallest fair value that adds a
-// whole instance (the ascent mirror of generateCandidates).
-func (p *Planner) generateUpCandidates(cur sim.Plan) []sim.Plan {
-	sp := p.Sim.Spec()
-	gpn := p.Sim.Cloud().Instance.GPUs
-	maxGPUs := p.maxGPUs()
+// whole instance (the ascent mirror of generateCandidates). The
+// loop-invariant spec, instance size and cap are passed in so the greedy
+// loop resolves them once rather than per iteration.
+func generateUpCandidates(cur sim.Plan, sp *spec.ExperimentSpec, gpn, maxGPUs int) []sim.Plan {
 	var out []sim.Plan
 	add := func(i, v int) {
 		for _, existing := range out {

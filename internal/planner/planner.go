@@ -71,7 +71,8 @@ type Planner struct {
 	Workers int
 
 	// memo caches plan evaluations across the whole search, keyed by the
-	// plan's canonical string, so the greedy loop never re-simulates an
+	// plan's compact byte encoding (sim.Plan.Key — collision-free and
+	// cheaper than formatting), so the greedy loop never re-simulates an
 	// allocation it has already scored (successive iterations share most
 	// of their candidate sets, as do overlapping warm-start descents).
 	memoMu sync.Mutex
@@ -86,7 +87,7 @@ type Planner struct {
 // both compute the identical value.
 func (p *Planner) estimate(plan sim.Plan) (sim.Estimate, error) {
 	atomic.AddInt64(&p.estCalls, 1)
-	key := plan.String()
+	key := plan.Key()
 	p.memoMu.Lock()
 	est, ok := p.memo[key]
 	p.memoMu.Unlock()
@@ -248,12 +249,13 @@ func (p *Planner) PlanElastic() (Result, error) {
 		return Result{}, err
 	}
 	best := staticBest
+	maxGPUs := p.maxGPUs()
 	for _, mult := range p.warmStarts() {
 		warm := staticBest.Plan.Clone()
 		for i := range warm.Alloc {
 			warm.Alloc[i] *= mult
-			if warm.Alloc[i] > p.maxGPUs() {
-				warm.Alloc[i] = p.maxGPUs()
+			if warm.Alloc[i] > maxGPUs {
+				warm.Alloc[i] = maxGPUs
 			}
 		}
 		warmEst, err := p.estimate(warm)
@@ -284,12 +286,13 @@ func (p *Planner) PlanElastic() (Result, error) {
 // candidate order, keeping the descent deterministic at any worker count.
 func (p *Planner) optimize(start Result) (Result, error) {
 	cur := start
+	gpn := p.Sim.Cloud().Instance.GPUs
+	if p.DisableInstanceStep {
+		gpn = 0
+	}
+	sp := p.Sim.Spec()
 	for {
-		gpn := p.Sim.Cloud().Instance.GPUs
-		if p.DisableInstanceStep {
-			gpn = 0
-		}
-		cands := generateCandidates(cur.Plan, p.Sim.Spec(), gpn)
+		cands := generateCandidates(cur.Plan, sp, gpn)
 		if len(cands) == 0 {
 			return cur, nil
 		}
@@ -396,14 +399,32 @@ func fairStepDown(alloc, trials int) (int, bool) {
 }
 
 // fairFloor returns the largest allocation v <= max that divides trials
-// evenly (factor or multiple), and whether one exists.
+// evenly (factor or multiple), and whether one exists. When max >= trials
+// the answer is the largest multiple of trials not exceeding max (every
+// divisor of trials is no larger); below that only divisors of trials
+// qualify, and the largest one <= max is found by walking divisor pairs
+// up to √trials — O(√trials) instead of the O(max) downward scan this
+// replaces.
 func fairFloor(max, trials int) (int, bool) {
-	for v := max; v >= 1; v-- {
-		if v%trials == 0 || trials%v == 0 {
-			return v, true
+	if max < 1 {
+		return 0, false
+	}
+	if max >= trials {
+		return max - max%trials, true
+	}
+	best := 1 // 1 divides every trial count and 1 <= max
+	for d := 1; d*d <= trials; d++ {
+		if trials%d != 0 {
+			continue
+		}
+		if d <= max && d > best {
+			best = d
+		}
+		if q := trials / d; q <= max && q > best {
+			best = q
 		}
 	}
-	return 0, false
+	return best, true
 }
 
 // MemoLen reports the number of distinct plans the search has simulated so

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"repro/internal/cloud"
-	"repro/internal/dag"
 	"repro/internal/stats"
 )
 
@@ -28,72 +27,58 @@ type StageEstimate struct {
 }
 
 // Breakdown predicts per-stage durations and compute-cost attribution for
-// a plan, using the same Monte-Carlo machinery as Estimate. Sample k draws
-// from the same per-plan stream Estimate's k-th sample uses, so the
-// decomposition describes exactly the schedules Estimate averaged over,
-// and repeated or concurrent calls return identical results.
+// a plan, using the same compiled segments, RNG streams and estimator
+// mode as Estimate. Sample k condenses exactly the draws Estimate's k-th
+// sample averaged over, so the decomposition is consistent with the
+// aggregate estimate, and repeated or concurrent calls return identical
+// results.
 func (s *Simulator) Breakdown(p Plan) ([]StageEstimate, error) {
-	b, err := s.build(p)
+	cp, err := s.compile(p)
 	if err != nil {
 		return nil, err
 	}
-	n := s.spec.NumStages()
+	vecs := s.sampleVectors(cp, p)
+	n := len(cp.segs)
 	durSum := make([]float64, n)
 	costSum := make([]float64, n)
 	pr := s.cloud.Pricing
 	it := s.cloud.Instance
 
-	base := s.planStream(p)
-	var buf []dag.Timing
 	for k := 0; k < s.samples; k++ {
-		timings, _ := b.graph.SampleInto(base.Stream(uint64(k)), buf)
-		buf = timings
-		stageStart := 0.0
 		prev := 0
-		for i := 0; i < n; i++ {
-			end := timings[b.syncID[i]].Finish
-			span := end - stageStart
-			durSum[i] += span
+		for i, sg := range cp.segs {
+			row := vecs[i][k]
+			durSum[i] += row.dur
 			if pr.Billing == cloud.PerFunction {
-				var used float64
-				for _, id := range b.trainIDs[i] {
-					nd := b.graph.Node(id)
-					used += (timings[id].Finish - timings[id].Start) * float64(nd.GPUs)
-				}
-				costSum[i] += used * it.PricePerGPUSecond(pr.Market)
+				costSum[i] += row.trainSec * float64(sg.trainGPUs) * it.PricePerGPUSecond(pr.Market)
 			} else {
 				// Mirror priceSchedule: machines carried over bill the
 				// whole span; newly provisioned ones start billing when
 				// the stage's SCALE request is serviced (queueing is
 				// unbilled).
-				cur := b.instances[i]
+				cur := sg.instances
 				kept := prev
 				if cur < kept {
 					kept = cur
 				}
-				billed := float64(kept) * span
+				billed := float64(kept) * row.dur
 				if cur > kept {
-					birth := stageStart
-					if b.scaleID[i] >= 0 {
-						birth = timings[b.scaleID[i]].Finish
-					}
-					billed += float64(cur-kept) * (end - birth)
+					billed += float64(cur-kept) * (row.dur - row.scaleFin)
 				}
 				costSum[i] += billed / 3600 * it.PricePerHour(pr.Market)
 			}
-			prev = b.instances[i]
-			stageStart = end
+			prev = sg.instances
 		}
 	}
 
 	out := make([]StageEstimate, n)
-	for i := 0; i < n; i++ {
+	for i, sg := range cp.segs {
 		st := s.spec.Stage(i)
 		out[i] = StageEstimate{
 			Stage:        i,
 			Trials:       st.Trials,
 			GPUsPerTrial: GPUsPerTrial(p.Alloc[i], st.Trials),
-			Instances:    b.instances[i],
+			Instances:    sg.instances,
 			Duration:     durSum[i] / float64(s.samples),
 			Cost:         costSum[i] / float64(s.samples),
 		}

@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/par"
+	"repro/internal/placement"
+	"repro/internal/stats"
+)
+
+// Cache capacities. Segments are shared across plans (a job with S stages
+// and A feasible allocations has at most S·A·|instance counts| distinct
+// segments, but the greedy planner's working set is far smaller), so the
+// segment caches are sized larger than the plan cache.
+const (
+	planCacheCap = 512
+	segCacheCap  = 4096
+)
+
+// segStreamDomain separates the segment-keyed RNG stream family from the
+// plan-keyed family used by EstimatorFull and from any other Hash64 users.
+const segStreamDomain = 0x7365676d656e7431 // "segment1"
+
+// segKey identifies one stage segment of an execution DAG up to
+// isomorphism within a single Simulator: the stage index fixes the trial
+// count and iteration budget, alloc the per-trial GPU share and target
+// cluster size, and prev — the instance count carried in from the previous
+// stage — whether the segment opens with a SCALE request and how many
+// INIT_INSTANCE nodes follow it. Two plans whose stage i agrees on
+// (alloc, prev) execute bit-identical segments there.
+type segKey struct {
+	stage, alloc, prev int
+}
+
+// segment is one stage's sub-DAG compiled into a flat program, plus the
+// node metadata the cost model needs to replay a sampled segment against
+// the billing rules. All cross-stage edges of the full execution DAG pass
+// through the single SYNC barrier closing each stage, so a segment
+// evaluates zero-based (the barrier is the implicit time-zero source) and
+// plan-level quantities recombine from per-segment samples. A segment is
+// immutable after construction and safe for concurrent use.
+type segment struct {
+	key  segKey
+	prog *dag.Program
+	// instances is the cluster size (machines) during the stage.
+	instances int
+	// scaleIdx is the program-local index of the SCALE node, -1 when the
+	// cluster does not grow into this stage.
+	scaleIdx int
+	// trainLo/trainHi bound the contiguous program-local TRAIN node range;
+	// trainGPUs is the per-trial GPU count shared by every node in it.
+	trainLo, trainHi int
+	trainGPUs        int
+}
+
+// segSample is the sufficient statistic one Monte-Carlo draw of one
+// segment contributes to plan estimation: the segment's zero-based
+// wall-clock span, the finish time of its SCALE request (0 when the
+// cluster does not grow), and the total busy GPU-slot seconds across its
+// TRAIN nodes. JCT recombination chains dur across stages; billing replay
+// derives instance births from scaleFin and training GPU-time from
+// trainSec.
+type segSample struct {
+	dur, scaleFin, trainSec float64
+}
+
+// eval draws one execution of the segment, reusing buf as scratch, and
+// condenses it to its segSample.
+func (sg *segment) eval(r *stats.RNG, buf []dag.Timing) (segSample, []dag.Timing) {
+	timings, dur := sg.prog.SampleInto(r, buf)
+	out := segSample{dur: dur}
+	if sg.scaleIdx >= 0 {
+		out.scaleFin = timings[sg.scaleIdx].Finish
+	}
+	for _, t := range timings[sg.trainLo:sg.trainHi] {
+		out.trainSec += t.Finish - t.Start
+	}
+	return out, timings
+}
+
+// compiledPlan is a plan resolved to its per-stage segments plus the
+// plan-level constants the cost model needs.
+type compiledPlan struct {
+	segs []*segment
+	// maxInstances is the peak cluster size, which fixes the data-ingress
+	// charge under LIFO deprovisioning.
+	maxInstances int
+}
+
+// compile resolves a plan to its compiled form, consulting the plan LRU
+// first and composing cache-shared segments on a miss. The result is a
+// pure function of the simulator's configuration and the plan, so benign
+// double computation under concurrent misses is harmless.
+func (s *Simulator) compile(p Plan) (*compiledPlan, error) {
+	if err := p.Validate(s.spec.NumStages()); err != nil {
+		return nil, err
+	}
+	key := p.Key()
+	s.mu.Lock()
+	cp, ok := s.plans.get(key)
+	s.mu.Unlock()
+	if ok {
+		return cp, nil
+	}
+	cp = &compiledPlan{segs: make([]*segment, len(p.Alloc))}
+	prev := 0
+	for i, alloc := range p.Alloc {
+		sg := s.segmentFor(segKey{stage: i, alloc: alloc, prev: prev})
+		cp.segs[i] = sg
+		prev = sg.instances
+		if sg.instances > cp.maxInstances {
+			cp.maxInstances = sg.instances
+		}
+	}
+	s.mu.Lock()
+	s.plans.put(key, cp)
+	s.mu.Unlock()
+	return cp, nil
+}
+
+// segmentFor returns the compiled segment for key, building it on a cache
+// miss.
+func (s *Simulator) segmentFor(key segKey) *segment {
+	s.mu.Lock()
+	sg, ok := s.segs.get(key)
+	s.mu.Unlock()
+	if ok {
+		return sg
+	}
+	sg = s.buildSegment(key)
+	s.mu.Lock()
+	s.segs.put(key, sg)
+	s.mu.Unlock()
+	return sg
+}
+
+// buildSegment constructs one stage's zero-based sub-DAG — mirroring the
+// stage structure of build, with the previous stage's SYNC barrier as the
+// implicit time-zero source — and compiles it to a flat program.
+func (s *Simulator) buildSegment(key segKey) *segment {
+	st := s.spec.Stage(key.stage)
+	gpn := s.cloud.Instance.GPUs
+	var need int
+	if key.alloc >= st.Trials {
+		need = placement.NodesNeeded(st.Trials, key.alloc/st.Trials, gpn)
+	} else {
+		need = placement.NodesNeeded(key.alloc, 1, gpn)
+	}
+
+	g := dag.New()
+	scaleIdx := -1
+	var stageDeps []int
+	if need > key.prev {
+		scale := g.AddNode(dag.Scale, key.stage, -1, 0, s.cloud.Overheads.QueueDelay)
+		scaleIdx = scale.ID
+		for k := key.prev; k < need; k++ {
+			init := g.AddNode(dag.InitInstance, key.stage, -1, 0, s.cloud.Overheads.InitLatency, scale.ID)
+			stageDeps = append(stageDeps, init.ID)
+		}
+	}
+
+	trainLo := g.Len()
+	var trainGPUs int
+	var trains []int
+	if key.alloc >= st.Trials {
+		per := key.alloc / st.Trials
+		trainGPUs = per
+		trainDist := sumIters(s.profile.IterDist(per), st.Iters)
+		for tr := 0; tr < st.Trials; tr++ {
+			n := g.AddNode(dag.Train, key.stage, tr, per, trainDist, stageDeps...)
+			trains = append(trains, n.ID)
+		}
+	} else {
+		trainGPUs = 1
+		trainDist := sumIters(s.profile.IterDist(1), st.Iters)
+		slotTail := make([]int, key.alloc)
+		for k := range slotTail {
+			slotTail[k] = -1
+		}
+		for tr := 0; tr < st.Trials; tr++ {
+			slot := tr % key.alloc
+			deps := stageDeps
+			if slotTail[slot] >= 0 {
+				deps = []int{slotTail[slot]}
+			}
+			n := g.AddNode(dag.Train, key.stage, tr, 1, trainDist, deps...)
+			slotTail[slot] = n.ID
+			trains = append(trains, n.ID)
+		}
+	}
+	trainHi := g.Len()
+	g.AddNode(dag.Sync, key.stage, -1, 0, stats.Deterministic{Value: 0}, trains...)
+
+	return &segment{
+		key:       key,
+		prog:      dag.Compile(g),
+		instances: need,
+		scaleIdx:  scaleIdx,
+		trainLo:   trainLo,
+		trainHi:   trainHi,
+		trainGPUs: trainGPUs,
+	}
+}
+
+// segStream returns the root generator of a segment tuple's stream
+// family. Deriving streams from the tuple rather than the plan is what
+// makes segment samples reusable across plans: every plan that executes
+// this tuple sees the same draws (common random numbers).
+func (s *Simulator) segStream(key segKey) *stats.RNG {
+	root := s.root
+	return root.Stream(stats.Hash64(segStreamDomain, uint64(key.stage), uint64(key.alloc), uint64(key.prev)))
+}
+
+// segmentSamples returns the segment's s.samples-long sample vector,
+// filling and caching it on a miss. Sample k always draws from the k-th
+// stream of the tuple's family and slots are index-addressed, so the
+// vector is bit-identical at any worker count; eviction merely forces a
+// recomputation of the same values.
+func (s *Simulator) segmentSamples(sg *segment) []segSample {
+	s.mu.Lock()
+	v, ok := s.segSamples.get(sg.key)
+	s.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = make([]segSample, s.samples)
+	base := s.segStream(sg.key)
+	scratch := make([][]dag.Timing, s.workerSlots())
+	par.ForEachWorker(s.samples, s.Workers(), func(w, k int) {
+		v[k], scratch[w] = sg.eval(base.Stream(uint64(k)), scratch[w])
+	})
+	s.mu.Lock()
+	s.segSamples.put(sg.key, v)
+	s.mu.Unlock()
+	return v
+}
+
+// workerSlots returns the number of distinct worker slots a Monte-Carlo
+// fan-out over s.samples can occupy (see par.ForEachWorker).
+func (s *Simulator) workerSlots() int {
+	n := s.Workers()
+	if n > s.samples {
+		n = s.samples
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// sampleVectors produces the per-stage sample vectors for a compiled
+// plan under the simulator's estimator mode. vecs[i][k] is stage i's
+// segSample for Monte-Carlo draw k.
+//
+// EstimatorSegment composes cached tuple-keyed vectors; EstimatorFull
+// draws every stage fresh from the plan's own stream family, with sample
+// k's single stream threaded through the stages in order (the draw order
+// of sampling the full DAG). Both modes evaluate the same compiled
+// programs, so they differ only in which RNG stream feeds each segment.
+func (s *Simulator) sampleVectors(cp *compiledPlan, p Plan) [][]segSample {
+	vecs := make([][]segSample, len(cp.segs))
+	if s.estimator == EstimatorSegment {
+		for i, sg := range cp.segs {
+			vecs[i] = s.segmentSamples(sg)
+		}
+		return vecs
+	}
+	for i := range vecs {
+		vecs[i] = make([]segSample, s.samples)
+	}
+	base := s.planStream(p)
+	scratch := make([][]dag.Timing, s.workerSlots())
+	par.ForEachWorker(s.samples, s.Workers(), func(w, k int) {
+		r := base.Stream(uint64(k))
+		for i, sg := range cp.segs {
+			vecs[i][k], scratch[w] = sg.eval(r, scratch[w])
+		}
+	})
+	return vecs
+}
+
+// priceSchedule replays Monte-Carlo draw k of a compiled plan's segment
+// rows against the billing model: stage durations chain into absolute
+// time, per-instance billing replays LIFO instance lifetimes (births
+// derived from each growth stage's SCALE finish, deaths at stage
+// boundaries or job completion, subject to the minimum charge), and
+// per-function billing sums training GPU-seconds. It returns the
+// recombined JCT and total cost including data ingress. births is a
+// reusable scratch buffer, returned (emptied) for the next call.
+func (s *Simulator) priceSchedule(cp *compiledPlan, vecs [][]segSample, k int, births []float64) (jct, cost float64, _ []float64) {
+	pr := s.cloud.Pricing
+	cost = float64(cp.maxInstances) * pr.DataIngressCost(s.cloud.DatasetGB)
+
+	if pr.Billing == cloud.PerFunction {
+		pg := s.cloud.Instance.PricePerGPUSecond(pr.Market)
+		for i, sg := range cp.segs {
+			row := vecs[i][k]
+			jct += row.dur
+			cost += row.trainSec * float64(sg.trainGPUs) * pg
+		}
+		return jct, cost, births
+	}
+
+	alive := births[:0] // birth time per alive instance, LIFO order
+	stageStart := 0.0
+	for i, sg := range cp.segs {
+		row := vecs[i][k]
+		want := sg.instances
+		if want > len(alive) {
+			birth := stageStart
+			if sg.scaleIdx >= 0 {
+				birth = stageStart + row.scaleFin // after queueing
+			}
+			for len(alive) < want {
+				alive = append(alive, birth)
+			}
+		} else {
+			for len(alive) > want {
+				b := alive[len(alive)-1]
+				alive = alive[:len(alive)-1]
+				cost += s.instanceCharge(b, stageStart)
+			}
+		}
+		stageStart += row.dur
+	}
+	for _, b := range alive {
+		cost += s.instanceCharge(b, stageStart)
+	}
+	return stageStart, cost, alive[:0]
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// modeSim is stochasticSim with an explicit estimator mode.
+func modeSim(t testing.TB, samples, workers int, seed uint64, mode EstimatorMode) *Simulator {
+	t.Helper()
+	s := spec.MustSHA(16, 2, 16, 2)
+	prof := ModelTrainProfile{Model: model.ResNet50(), Batch: 512, GPUsPerNode: 4}
+	cp := DefaultCloudProfile()
+	cp.Overheads = cloud.Overheads{
+		QueueDelay:  stats.Exponential{MeanValue: 5},
+		InitLatency: stats.Normal{Mu: 15, Sigma: 3},
+	}
+	sm, err := New(s, prof, cp, samples, stats.NewRNG(seed), WithWorkers(workers), WithEstimator(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// deterministicSim returns a simulator whose every latency source is a
+// point mass: measured profile with zero straggler variance and constant
+// provisioning overheads. No estimator draws any random number, so the
+// two estimator modes must agree exactly.
+func deterministicSim(t testing.TB, samples, workers int, mode EstimatorMode, billing cloud.BillingModel) *Simulator {
+	t.Helper()
+	s := spec.MustSHA(16, 2, 16, 2)
+	sc, err := model.NewInterpolatedScaling([]int{1, 2, 4, 8, 16}, []float64{1, 1.9, 3.6, 6.5, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := MeasuredTrainProfile{BaseMean: 4, BaseStd: 0, Scaling: sc}
+	cp := DefaultCloudProfile()
+	cp.Pricing.Billing = billing
+	cp.Overheads = cloud.Overheads{
+		QueueDelay:  stats.Deterministic{Value: 5},
+		InitLatency: stats.Deterministic{Value: 15},
+	}
+	sm, err := New(s, prof, cp, samples, stats.NewRNG(77), WithWorkers(workers), WithEstimator(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func estimatorModes() []EstimatorMode { return []EstimatorMode{EstimatorSegment, EstimatorFull} }
+
+// TestParseEstimator round-trips both flag spellings and rejects others.
+func TestParseEstimator(t *testing.T) {
+	for _, m := range estimatorModes() {
+		got, err := ParseEstimator(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseEstimator(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseEstimator("fast"); err == nil {
+		t.Fatal("ParseEstimator accepted an unknown mode")
+	}
+}
+
+// TestEstimatorModesDeterministicAcrossWorkers: the PR's core invariant
+// holds in both estimator modes — for a fixed seed, Estimate is
+// bit-identical at every worker count and across repeated calls on fresh
+// and reused simulators.
+func TestEstimatorModesDeterministicAcrossWorkers(t *testing.T) {
+	for _, mode := range estimatorModes() {
+		ref := modeSim(t, 40, 1, 42, mode)
+		for _, plan := range testPlans(ref) {
+			want, err := ref.Estimate(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.JCTStd == 0 {
+				t.Fatalf("%v plan %v: degenerate estimate, test is vacuous", mode, plan)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				sm := modeSim(t, 40, workers, 42, mode)
+				for run := 0; run < 2; run++ {
+					got, err := sm.Estimate(plan)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("%v plan %v workers=%d run=%d: %+v != serial %+v", mode, plan, workers, run, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEstimatorsAgreeExactlyUnderDeterministicLatencies: with point-mass
+// latencies everywhere the segment estimator's recombined samples carry
+// no randomness to diverge on, so both modes — which share the same
+// compiled programs and recombination arithmetic — must return exactly
+// equal estimates and breakdowns, under both billing models and for all
+// plan shapes (static, shrinking, queued waves).
+func TestEstimatorsAgreeExactlyUnderDeterministicLatencies(t *testing.T) {
+	for _, billing := range []cloud.BillingModel{cloud.PerInstance, cloud.PerFunction} {
+		seg := deterministicSim(t, 5, 2, EstimatorSegment, billing)
+		full := deterministicSim(t, 5, 2, EstimatorFull, billing)
+		for _, plan := range testPlans(seg) {
+			se, err := seg.Estimate(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fe, err := full.Estimate(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if se != fe {
+				t.Fatalf("billing %v plan %v: segment %+v != full %+v", billing, plan, se, fe)
+			}
+			if se.JCT <= 0 || se.Cost <= 0 {
+				t.Fatalf("billing %v plan %v: degenerate estimate %+v", billing, plan, se)
+			}
+			sb, err := seg.Breakdown(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := full.Breakdown(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sb {
+				if sb[i] != fb[i] {
+					t.Fatalf("billing %v plan %v stage %d: segment %+v != full %+v", billing, plan, i, sb[i], fb[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEstimatorsAgreeToMonteCarloTolerance: under stochastic latencies
+// the two modes draw different streams, so they are distinct unbiased
+// estimators of the same quantities; at a large sample count their means
+// must agree to a few standard errors.
+func TestEstimatorsAgreeToMonteCarloTolerance(t *testing.T) {
+	const samples = 400
+	seg := modeSim(t, samples, 4, 9, EstimatorSegment)
+	full := modeSim(t, samples, 4, 9, EstimatorFull)
+	for _, plan := range testPlans(seg) {
+		se, err := seg.Estimate(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe, err := full.Estimate(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 5 standard errors of the larger spread, plus a small absolute
+		// floor for near-deterministic components.
+		jctTol := 5*math.Max(se.JCTStd, fe.JCTStd)/math.Sqrt(samples) + 1e-9
+		costTol := 5*math.Max(se.CostStd, fe.CostStd)/math.Sqrt(samples) + 1e-9
+		if d := math.Abs(se.JCT - fe.JCT); d > jctTol {
+			t.Fatalf("plan %v: JCT means differ by %v (> %v): segment %v full %v", plan, d, jctTol, se.JCT, fe.JCT)
+		}
+		if d := math.Abs(se.Cost - fe.Cost); d > costTol {
+			t.Fatalf("plan %v: cost means differ by %v (> %v): segment %v full %v", plan, d, costTol, se.Cost, fe.Cost)
+		}
+	}
+}
+
+// TestSegmentEstimatesPureAcrossCacheState: an estimate must not depend
+// on what the segment and plan caches happen to hold — evaluating many
+// other plans (sharing and evicting segments) between two estimates of
+// the same plan must not change a bit, and a cold simulator must agree
+// with a warm one.
+func TestSegmentEstimatesPureAcrossCacheState(t *testing.T) {
+	warm := modeSim(t, 30, 2, 13, EstimatorSegment)
+	plan := testPlans(warm)[1]
+	want, err := warm.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := warm.Spec().NumStages()
+	for g := 1; g <= 32; g++ {
+		if _, err := warm.Estimate(Uniform(g, stages)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := warm.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("estimate changed with cache state: %+v != %+v", got, want)
+	}
+	cold := modeSim(t, 30, 2, 13, EstimatorSegment)
+	cgot, err := cold.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cgot != want {
+		t.Fatalf("cold estimate %+v != warm %+v", cgot, want)
+	}
+}
+
+// TestPlanKeyCollisionFree: Key is injective over plans that differ in
+// any allocation or in stage count, and agrees exactly when Equal does.
+func TestPlanKeyCollisionFree(t *testing.T) {
+	plans := []Plan{
+		NewPlan(1),
+		NewPlan(1, 1),
+		NewPlan(16, 8),
+		NewPlan(8, 16),
+		NewPlan(16, 8, 4),
+		NewPlan(16, 8, 5),
+		NewPlan(257, 8, 4), // multi-byte values must not collide with permutations
+		NewPlan(1, 2, 8, 4),
+		NewPlan(1, 2, 8, 5),
+		Uniform(64, 4),
+	}
+	for i, a := range plans {
+		for j, b := range plans {
+			if (a.Key() == b.Key()) != a.Equal(b) {
+				t.Fatalf("Key collision/mismatch between %v (#%d) and %v (#%d)", a, i, b, j)
+			}
+		}
+	}
+	if len(NewPlan(7, 9).Key()) != 8 {
+		t.Fatalf("Key length %d, want 4 bytes per stage", len(NewPlan(7, 9).Key()))
+	}
+}
+
+// TestPriceScheduleZeroAlloc pins the steady-state allocation count of
+// the billing replay to zero under both billing models: with a warm
+// births buffer, pricing a sample must not allocate.
+func TestPriceScheduleZeroAlloc(t *testing.T) {
+	for _, billing := range []cloud.BillingModel{cloud.PerInstance, cloud.PerFunction} {
+		sm := deterministicSim(t, 8, 1, EstimatorSegment, billing)
+		plan := testPlans(sm)[1]
+		cp, err := sm.compile(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs := sm.sampleVectors(cp, plan)
+		var births []float64
+		_, _, births = sm.priceSchedule(cp, vecs, 0, births) // warm the buffer
+		allocs := testing.AllocsPerRun(100, func() {
+			_, _, births = sm.priceSchedule(cp, vecs, 1, births)
+		})
+		if allocs != 0 {
+			t.Fatalf("billing %v: priceSchedule allocates %v per sample, want 0", billing, allocs)
+		}
+	}
+}
+
+// TestGraphSampleZeroAlloc pins the reference sampler: with a warm
+// timings buffer, Graph.SampleInto over a full execution DAG allocates
+// nothing per draw.
+func TestGraphSampleZeroAlloc(t *testing.T) {
+	sm := stochasticSim(t, 8, 1, 3)
+	g, err := sm.BuildDAG(testPlans(sm)[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	buf, _ := g.SampleInto(rng, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, _ = g.SampleInto(rng, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("Graph.SampleInto allocates %v per draw, want 0", allocs)
+	}
+}
+
+// TestSegmentCacheReusesAcrossPlans: two plans sharing a stage tuple
+// must consult the profile only once for that tuple — the segment cache
+// is what makes greedy candidate evaluation incremental.
+func TestSegmentCacheReusesAcrossPlans(t *testing.T) {
+	sm := modeSim(t, 10, 1, 21, EstimatorSegment)
+	stages := sm.Spec().NumStages()
+	if _, err := sm.Estimate(Uniform(16, stages)); err != nil {
+		t.Fatal(err)
+	}
+	segsBefore, samplesBefore := sm.segs.len(), sm.segSamples.len()
+	// Decrement only the final stage: every earlier (stage, alloc, prev)
+	// tuple is unchanged, so exactly one new segment may be built.
+	alloc := Uniform(16, stages).Alloc
+	alloc[stages-1] = 8
+	if _, err := sm.Estimate(Plan{Alloc: alloc}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.segs.len(); got != segsBefore+1 {
+		t.Fatalf("segment cache grew from %d to %d, want exactly one new segment", segsBefore, got)
+	}
+	if got := sm.segSamples.len(); got != samplesBefore+1 {
+		t.Fatalf("sample cache grew from %d to %d, want exactly one new vector", samplesBefore, got)
+	}
+}

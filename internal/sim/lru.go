@@ -1,0 +1,56 @@
+package sim
+
+import "container/list"
+
+// lru is a bounded least-recently-used cache. It is not safe for
+// concurrent use on its own; the Simulator guards its caches with a
+// mutex. Eviction only ever discards memoized pure computations, so a
+// bounded capacity trades recomputation for memory without affecting
+// results.
+type lru[K comparable, V any] struct {
+	cap   int
+	order *list.List // front = most recently used; element values are *lruEntry[K, V]
+	idx   map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// newLRU returns an empty cache holding at most cap entries.
+func newLRU[K comparable, V any](cap int) *lru[K, V] {
+	if cap < 1 {
+		cap = 1
+	}
+	return &lru[K, V]{cap: cap, order: list.New(), idx: make(map[K]*list.Element)}
+}
+
+// get returns the cached value for k, marking it most recently used.
+func (c *lru[K, V]) get(k K) (V, bool) {
+	if e, ok := c.idx[k]; ok {
+		c.order.MoveToFront(e)
+		return e.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or refreshes k, evicting the least recently used entry when
+// the cache is full.
+func (c *lru[K, V]) put(k K, v V) {
+	if e, ok := c.idx[k]; ok {
+		e.Value.(*lruEntry[K, V]).val = v
+		c.order.MoveToFront(e)
+		return
+	}
+	c.idx[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.idx, back.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lru[K, V]) len() int { return c.order.Len() }

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -85,6 +86,19 @@ func (p Plan) String() string {
 		parts[i] = fmt.Sprint(a)
 	}
 	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Key returns a compact, collision-free encoding of the allocation vector
+// for use as a map or cache key: each allocation as a fixed-width
+// big-endian 32-bit word, so two plans share a Key iff they are Equal
+// (the length distinguishes stage counts). Unlike String it performs no
+// formatting and its size is exactly 4 bytes per stage.
+func (p Plan) Key() string {
+	b := make([]byte, 4*len(p.Alloc))
+	for i, a := range p.Alloc {
+		binary.BigEndian.PutUint32(b[i*4:], uint32(a))
+	}
+	return string(b)
 }
 
 // Equal reports whether two plans are identical.

@@ -101,7 +101,9 @@ func DefaultCloudProfile() CloudProfile {
 // iterations drawn from d. Normal and deterministic iteration latencies
 // collapse analytically (sum of n normals is N(nμ, √n·σ)), which keeps
 // simulation cost independent of iteration counts; other distributions
-// fall back to drawing n samples per evaluation.
+// fall back to stats.Repeat, drawing n samples per evaluation. Every
+// returned type is one the DAG compiler (dag.Compile) encodes as an
+// inline opcode, keeping interface dispatch off the Monte-Carlo hot path.
 func sumIters(d stats.Dist, n int) stats.Dist {
 	if n < 0 {
 		panic("sim: negative iteration count")
@@ -110,35 +112,10 @@ func sumIters(d stats.Dist, n int) stats.Dist {
 	case stats.Deterministic:
 		return stats.Deterministic{Value: float64(n) * v.Value}
 	case stats.Normal:
-		return normalSum{mu: float64(n) * v.Mu, sigma: math.Sqrt(float64(n)) * v.Sigma}
+		// Truncation at zero matches stats.Normal.Sample, which is what
+		// the per-iteration draw would have applied n times.
+		return stats.Normal{Mu: float64(n) * v.Mu, Sigma: math.Sqrt(float64(n)) * v.Sigma}
 	default:
-		return iterSum{d: d, n: n}
+		return stats.Repeat{D: d, N: n}
 	}
 }
-
-type normalSum struct{ mu, sigma float64 }
-
-func (s normalSum) Sample(r *stats.RNG) float64 {
-	v := s.mu + s.sigma*r.NormFloat64()
-	if v < 0 {
-		return 0
-	}
-	return v
-}
-func (s normalSum) Mean() float64  { return s.mu }
-func (s normalSum) String() string { return fmt.Sprintf("normalSum(mu=%g, sigma=%g)", s.mu, s.sigma) }
-
-type iterSum struct {
-	d stats.Dist
-	n int
-}
-
-func (s iterSum) Sample(r *stats.RNG) float64 {
-	var sum float64
-	for i := 0; i < s.n; i++ {
-		sum += s.d.Sample(r)
-	}
-	return sum
-}
-func (s iterSum) Mean() float64  { return float64(s.n) * s.d.Mean() }
-func (s iterSum) String() string { return fmt.Sprintf("sum(%d x %s)", s.n, s.d) }

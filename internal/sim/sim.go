@@ -3,8 +3,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
-	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/par"
 	"repro/internal/placement"
@@ -25,13 +25,16 @@ type Estimate struct {
 // Simulator predicts JCT and cost for allocation plans over one job.
 // Construct with New; the zero value is not usable.
 //
-// A Simulator is immutable after construction and safe for concurrent use
-// by multiple goroutines: Estimate, Breakdown and BuildDAG never mutate
-// shared state. Every Monte-Carlo draw derives a private RNG stream from
-// the construction-time seed state, keyed by (plan, sample index), so
-// Estimate is a pure function of the simulator's configuration and the
-// plan — its result does not depend on how many estimates ran before it,
-// on which goroutine it ran, or on the worker count.
+// A Simulator's configuration is immutable after construction and it is
+// safe for concurrent use by multiple goroutines. Its only mutable state
+// is a set of mutex-guarded bounded LRU caches memoizing pure
+// computations — compiled stage-segment programs, compiled plans, and
+// (under EstimatorSegment) segment sample vectors — so Estimate and
+// Breakdown remain pure functions of the simulator's configuration and
+// the plan: every Monte-Carlo draw derives a private RNG stream from the
+// construction-time seed state, keyed by (stream family, sample index),
+// and results do not depend on cache state, call order, goroutine, or
+// worker count.
 type Simulator struct {
 	spec    *spec.ExperimentSpec
 	profile TrainProfile
@@ -39,10 +42,21 @@ type Simulator struct {
 	samples int
 	// workers bounds the Monte-Carlo fan-out; <= 0 selects GOMAXPROCS.
 	workers int
+	// estimator selects the Monte-Carlo stream discipline (see
+	// EstimatorMode).
+	estimator EstimatorMode
 	// root is a snapshot of the seeding generator's state at construction.
 	// It is never advanced: streams are derived from it with
 	// stats.RNG.Stream, which is pure, so concurrent derivation is safe.
 	root stats.RNG
+
+	// mu guards the caches below. Misses are computed outside the lock
+	// and inserted last-write-wins: every cached value is a pure function
+	// of its key and the configuration, so double computation is benign.
+	mu         sync.Mutex
+	plans      *lru[string, *compiledPlan]
+	segs       *lru[segKey, *segment]
+	segSamples *lru[segKey, []segSample]
 }
 
 // Option configures optional Simulator behavior in New.
@@ -79,7 +93,16 @@ func New(s *spec.ExperimentSpec, profile TrainProfile, cp CloudProfile, samples 
 	if rng == nil {
 		rng = stats.NewRNG(0)
 	}
-	sm := &Simulator{spec: s, profile: profile, cloud: cp, samples: samples, root: *rng}
+	sm := &Simulator{
+		spec:       s,
+		profile:    profile,
+		cloud:      cp,
+		samples:    samples,
+		root:       *rng,
+		plans:      newLRU[string, *compiledPlan](planCacheCap),
+		segs:       newLRU[segKey, *segment](segCacheCap),
+		segSamples: newLRU[segKey, []segSample](segCacheCap),
+	}
 	for _, o := range opts {
 		o(sm)
 	}
@@ -222,111 +245,27 @@ func (s *Simulator) build(p Plan) (*buildResult, error) {
 	return b, nil
 }
 
-// Estimate predicts JCT and cost for the plan by sampling the execution
-// DAG s.samples times and pricing each sampled schedule. Samples fan out
-// across the simulator's worker pool (WithWorkers); sample k always draws
-// from the k-th stream of the plan's stream family and results are
-// reduced in fixed index order, so the estimate is bit-identical at any
-// worker count and across repeated or concurrent calls.
+// Estimate predicts JCT and cost for the plan by drawing s.samples
+// Monte-Carlo samples of each stage segment's compiled program and
+// replaying every sample against the billing model. Segment draws fan
+// out across the simulator's worker pool (WithWorkers) into
+// index-addressed slots and the recombination reduces in fixed index
+// order, so the estimate is bit-identical at any worker count and across
+// repeated or concurrent calls, in both estimator modes.
 func (s *Simulator) Estimate(p Plan) (Estimate, error) {
-	b, err := s.build(p)
+	cp, err := s.compile(p)
 	if err != nil {
 		return Estimate{}, err
 	}
+	vecs := s.sampleVectors(cp, p)
 	jcts := make([]float64, s.samples)
 	costs := make([]float64, s.samples)
-	base := s.planStream(p)
-	workers := s.Workers()
-	if workers > s.samples {
-		workers = s.samples
+	var births []float64
+	for k := 0; k < s.samples; k++ {
+		jcts[k], costs[k], births = s.priceSchedule(cp, vecs, k, births)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	// One scratch set per worker slot: sample timings and instance birth
-	// times are overwritten draw after draw instead of reallocated. The
-	// buffers carry no state between draws, so reuse cannot affect values.
-	scratch := make([]sampleScratch, workers)
-	par.ForEachWorker(s.samples, workers, func(w, k int) {
-		sc := &scratch[w]
-		var makespan float64
-		sc.timings, makespan = b.graph.SampleInto(base.Stream(uint64(k)), sc.timings)
-		jcts[k] = makespan
-		costs[k] = s.priceSchedule(b, sc.timings, makespan, sc)
-	})
 	js, cs := stats.Summarize(jcts), stats.Summarize(costs)
 	return Estimate{JCT: js.Mean, JCTStd: js.Std, Cost: cs.Mean, CostStd: cs.Std}, nil
-}
-
-// sampleScratch holds one worker's reusable Monte-Carlo buffers.
-type sampleScratch struct {
-	timings []dag.Timing
-	births  []float64 // alive-instance birth times for priceSchedule
-}
-
-// priceSchedule prices one sampled schedule under the cloud profile's
-// billing model. sc provides reusable buffers for the instance-lifetime
-// replay; it is owned by the calling worker.
-func (s *Simulator) priceSchedule(b *buildResult, timings []dag.Timing, makespan float64, sc *sampleScratch) float64 {
-	pr := s.cloud.Pricing
-	it := s.cloud.Instance
-
-	// Data ingress: charged once per instance ever provisioned. Under a
-	// LIFO deprovisioning discipline the total number of instances ever
-	// provisioned is the running maximum of the per-stage counts.
-	maxInstances := 0
-	for _, c := range b.instances {
-		if c > maxInstances {
-			maxInstances = c
-		}
-	}
-	total := float64(maxInstances) * pr.DataIngressCost(s.cloud.DatasetGB)
-
-	if pr.Billing == cloud.PerFunction {
-		// Charge only GPU time actually consumed by training tasks.
-		for _, stageTrains := range b.trainIDs {
-			for _, id := range stageTrains {
-				n := b.graph.Node(id)
-				dur := timings[id].Finish - timings[id].Start
-				total += dur * float64(n.GPUs) * it.PricePerGPUSecond(pr.Market)
-			}
-		}
-		return total
-	}
-
-	// Per-instance billing: replay instance lifetimes. Stage i runs
-	// instances[i] machines from the end of the previous SYNC to the end
-	// of its own SYNC; growth provisions new machines whose billing
-	// starts when the stage's SCALE request is serviced; shrinkage
-	// deprovisions the most recently added machines (LIFO) at the stage
-	// boundary.
-	alive := sc.births[:0] // birth time per alive instance, LIFO order
-	var cost float64
-	stageStart := 0.0
-	for i := range b.instances {
-		want := b.instances[i]
-		if want > len(alive) {
-			birth := stageStart
-			if b.scaleID[i] >= 0 {
-				birth = timings[b.scaleID[i]].Finish // after queueing
-			}
-			for len(alive) < want {
-				alive = append(alive, birth)
-			}
-		} else {
-			for len(alive) > want {
-				birth := alive[len(alive)-1]
-				alive = alive[:len(alive)-1]
-				cost += s.instanceCharge(birth, stageStart)
-			}
-		}
-		stageStart = timings[b.syncID[i]].Finish
-	}
-	for _, birth := range alive {
-		cost += s.instanceCharge(birth, makespan)
-	}
-	sc.births = alive[:0]
-	return total + cost
 }
 
 // instanceCharge bills one instance held from birth to death.

@@ -353,8 +353,8 @@ func TestSumItersCollapse(t *testing.T) {
 		t.Errorf("det sum sample %v, want 20", v)
 	}
 	// Normal collapses analytically: mean n*mu, std sqrt(n)*sigma.
-	n := sumIters(stats.Normal{Mu: 3, Sigma: 1}, 100).(normalSum)
-	if n.mu != 300 || math.Abs(n.sigma-10) > 1e-12 {
+	n := sumIters(stats.Normal{Mu: 3, Sigma: 1}, 100).(stats.Normal)
+	if n.Mu != 300 || math.Abs(n.Sigma-10) > 1e-12 {
 		t.Errorf("normal sum = %+v", n)
 	}
 	// Other distributions fall back to summing draws.

@@ -170,6 +170,30 @@ func (p Pareto) Mean() float64 { return p.Alpha * p.Scale / (p.Alpha - 1) }
 
 func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%g, alpha=%g)", p.Scale, p.Alpha) }
 
+// Repeat is the distribution of the sum of N independent draws from D. It
+// is the general-case form of "run N iterations of latency D back to
+// back"; callers with normal or deterministic D should collapse the sum
+// analytically instead (see sim.sumIters), which keeps sampling cost
+// independent of N.
+type Repeat struct {
+	D Dist
+	N int
+}
+
+// Sample draws N values from D and returns their sum.
+func (s Repeat) Sample(r *RNG) float64 {
+	var sum float64
+	for i := 0; i < s.N; i++ {
+		sum += s.D.Sample(r)
+	}
+	return sum
+}
+
+// Mean returns N times the wrapped mean.
+func (s Repeat) Mean() float64 { return float64(s.N) * s.D.Mean() }
+
+func (s Repeat) String() string { return fmt.Sprintf("sum(%d x %s)", s.N, s.D) }
+
 // Scaled wraps a distribution and multiplies every sample and the mean by
 // Factor. It lets the simulator reuse a profiled per-iteration latency
 // distribution at a different allocation via a scaling function.

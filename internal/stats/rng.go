@@ -118,7 +118,7 @@ func (r *RNG) Intn(n int) int {
 // math.Log/Exp off the Monte-Carlo hot path entirely except in the wedges
 // and the tail.
 const (
-	zigR = 3.442619855899    // start of the distribution's right tail
+	zigR = 3.442619855899      // start of the distribution's right tail
 	zigV = 9.91256303526217e-3 // area of each layer
 )
 
