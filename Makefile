@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet lint bench bench-plan experiments examples repro fuzz-short clean
+.PHONY: all build test test-race test-replan vet lint bench bench-plan experiments examples repro fuzz-short clean
 
 all: build vet lint test test-race
 
@@ -23,6 +23,14 @@ test:
 # chaos harness's scenario fan-out).
 test-race:
 	go test -race -count=1 ./internal/sim ./internal/planner ./internal/stats ./internal/par ./internal/harness
+
+# Replanning suite: the controller's unit tests, the differential
+# replan-vs-stale/zero-drift tests, and the metamorphic planner tests,
+# all under the race detector.
+test-replan:
+	go test -race -count=1 ./internal/replan ./internal/profiler
+	go test -race -count=1 ./internal/harness -run 'TestReplan|TestZeroDrift'
+	go test -race -count=1 ./internal/planner -run 'TestPriceScaling|TestDeadlineTightening|TestPlanInvariant'
 
 # Bounded chaos pass for CI: a fixed scenario batch through every
 # invariant oracle with replay, then 30s of native fuzzing per target.

@@ -3,11 +3,13 @@
 // regressions in the estimator stack are visible in CI and recorded in
 // the repository.
 //
-// It benchmarks sim.Estimate (one plan evaluation, warm caches) and
+// It benchmarks sim.Estimate (one plan evaluation, warm caches),
 // planner.PlanElastic (a full greedy compilation on a fresh planner and,
-// separately, on a fresh simulator) at Monte-Carlo sample counts 20 and
-// 100, under both estimator modes, at workers=1 — the configuration the
-// repository's speedup claims are stated against.
+// separately, on a fresh simulator) and replan.Controller.Replan (one
+// warm online replanning decision: profile refit + tail re-plan + splice)
+// at Monte-Carlo sample counts 20 and 100, under both estimator modes, at
+// workers=1 — the configuration the repository's speedup claims are
+// stated against.
 //
 // Usage:
 //
@@ -25,17 +27,19 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/model"
 	"repro/internal/planner"
+	"repro/internal/replan"
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/stats"
+	"repro/internal/vclock"
 	"testing"
 )
 
 // Result is one benchmark measurement in the emitted JSON.
 type Result struct {
 	// Name identifies the benchmark: estimate, plan_elastic (fresh
-	// planner, shared simulator) or plan_elastic_cold (fresh simulator
-	// per iteration).
+	// planner, shared simulator), plan_elastic_cold (fresh simulator per
+	// iteration) or replan (one warm online replanning decision).
 	Name string `json:"name"`
 	// Samples is the simulator's Monte-Carlo sample count.
 	Samples int `json:"samples"`
@@ -61,6 +65,42 @@ func newSimulator(samples int, mode sim.EstimatorMode) (*sim.Simulator, error) {
 		InitLatency: stats.Deterministic{Value: 15},
 	}
 	return sim.New(s, prof, cp, samples, stats.NewRNG(1), sim.WithWorkers(1), sim.WithEstimator(mode))
+}
+
+// newController builds a replanning controller over the same workload as
+// newSimulator and feeds it a drifted observation window, so each Replan
+// call exercises the full warm path: profile refit, tail re-plan under
+// the remaining deadline, and splice.
+func newController(samples int, mode sim.EstimatorMode) (*replan.Controller, replan.State, error) {
+	s := spec.MustSHA(64, 4, 508, 2)
+	prof := sim.ModelTrainProfile{Model: model.ResNet50(), Batch: 512, GPUsPerNode: 4}
+	cp := sim.DefaultCloudProfile()
+	cp.Overheads = cloud.Overheads{
+		QueueDelay:  stats.Deterministic{Value: 5},
+		InitLatency: stats.Deterministic{Value: 15},
+	}
+	ctl, err := replan.NewController(replan.Config{
+		Spec:      s,
+		Profile:   prof,
+		Cloud:     cp,
+		Deadline:  900,
+		MaxGPUs:   128,
+		Samples:   samples,
+		Workers:   1,
+		Estimator: mode,
+		RNG:       stats.NewRNG(2),
+	})
+	if err != nil {
+		return nil, replan.State{}, err
+	}
+	plan := sim.Uniform(32, s.NumStages())
+	gpus := sim.GPUsPerTrial(plan.Alloc[0], s.Stage(0).Trials)
+	pred := prof.IterDist(gpus).Mean()
+	for i := 0; i < 8; i++ {
+		ctl.ObserveIteration(gpus, 1.5*pred, vclock.Time(i))
+	}
+	state := replan.State{Stage: 0, Now: 100, RemainingIters: s.Stage(0).Iters, Plan: plan}
+	return ctl, state, nil
 }
 
 // measure runs fn under testing.Benchmark and converts the outcome.
@@ -122,6 +162,21 @@ func run(benchtime time.Duration, out string) error {
 					}
 					p := &planner.Planner{Sim: cold, Deadline: 900, MaxGPUs: 128, Workers: 1}
 					if _, err := p.PlanElastic(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			ctl, state, err := newController(samples, mode)
+			if err != nil {
+				return err
+			}
+			if _, err := ctl.Replan(state, replan.ReasonDrift); err != nil { // warm once
+				return err
+			}
+			results = append(results, measure("replan", samples, mode, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ctl.Replan(state, replan.ReasonDrift); err != nil {
 						b.Fatal(err)
 					}
 				}

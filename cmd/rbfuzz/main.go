@@ -11,6 +11,7 @@
 //	rbfuzz -seed 1 -n 64           # one batch, all oracles, with replay
 //	rbfuzz -seed 1 -n 64 -workers 8
 //	rbfuzz -seed 1 -index 52 -v    # re-run one failing scenario verbosely
+//	rbfuzz -seed 1 -n 64 -replan on -drift-threshold 0.15
 //
 // Everything derives from -seed: a failure printed by any run reproduces
 // bit-identically with `go run ./cmd/rbfuzz -seed S -index I`, at any
@@ -33,10 +34,36 @@ func main() {
 		workers = flag.Int("workers", 8, "scenario-level parallelism (results are identical at any width)")
 		replay  = flag.Bool("replay", true, "run every scenario twice and require bit-identical digests")
 		verbose = flag.Bool("v", false, "print every scenario, not just failures")
+		rpl     = flag.String("replan", "auto", "online replanning controller: auto (per-scenario draw), on, or off")
+		drift   = flag.Float64("drift-threshold", 0, "override the replan controller's EWMA trigger threshold (0 = per-scenario draw)")
 	)
 	flag.Parse()
 
-	opts := harness.Options{Seed: *seed, Scenarios: *n, Workers: *workers, Replay: *replay}
+	var mutate func(*harness.Scenario)
+	switch *rpl {
+	case "auto":
+	case "on", "off":
+		on := *rpl == "on"
+		mutate = func(sc *harness.Scenario) { sc.ReplanEnabled = on }
+	default:
+		fmt.Fprintf(os.Stderr, "rbfuzz: -replan must be auto, on or off (got %q)\n", *rpl)
+		os.Exit(2)
+	}
+	if *drift != 0 {
+		if *drift < 0 {
+			fmt.Fprintf(os.Stderr, "rbfuzz: -drift-threshold must be positive (got %v)\n", *drift)
+			os.Exit(2)
+		}
+		prev := mutate
+		mutate = func(sc *harness.Scenario) {
+			if prev != nil {
+				prev(sc)
+			}
+			sc.DriftThreshold = *drift
+		}
+	}
+
+	opts := harness.Options{Seed: *seed, Scenarios: *n, Workers: *workers, Replay: *replay, Mutate: mutate}
 	var reports []harness.ScenarioReport
 	var batchDigest harness.Digest
 	if *index >= 0 {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/placement"
+	"repro/internal/replan"
 	"repro/internal/searchspace"
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -56,6 +57,17 @@ type Config struct {
 	RestoreSeconds float64
 	// Trace, if non-nil, records execution events.
 	Trace *trace.Recorder
+	// LatencyScale, if non-nil, multiplies every sampled iteration
+	// latency by its value at the iteration's start instant — the chaos
+	// harness's drift-injection hook. It must be a pure function of
+	// virtual time (the scaling is applied after the RNG draw, so
+	// enabling drift never shifts the random stream). Nil means 1.
+	LatencyScale func(now vclock.Time) float64
+	// Replan, if non-nil, is the online replanning controller: observed
+	// iteration latencies and provisioning makespans are fed into its
+	// drift detector, and on trigger (or preemption) the remaining plan
+	// is recompiled and spliced in at the next stage boundary.
+	Replan *replan.Controller
 }
 
 func (c *Config) validate() error {
@@ -117,6 +129,13 @@ type Result struct {
 	Preemptions int
 	// Trials exposes the final trial objects for inspection.
 	Trials []*trial.Trial
+	// Replans is the ordered list of replanning decisions taken during
+	// the run (empty without a replan controller).
+	Replans []replan.Decision
+	// FinalPlan is the plan actually executed: the configured plan with
+	// every adopted replan spliced in. Equal to the input plan when no
+	// replan was adopted.
+	FinalPlan sim.Plan
 }
 
 // run carries the mutable state of one execution.
@@ -146,6 +165,20 @@ type run struct {
 	pendingRestart []restartEntry
 	// preemptions counts nodes lost during the run.
 	preemptions int
+
+	// execPlan is the live plan: a clone of cfg.Plan that adopted
+	// replans splice new tails into. The executor never reads
+	// cfg.Plan.Alloc after Start so the caller's copy stays pristine.
+	execPlan sim.Plan
+	// replans accumulates the controller's decisions in order.
+	replans []replan.Decision
+	// replanAdopted marks that at least one replan changed the plan;
+	// subsequent stage starts annotate their placement churn.
+	replanAdopted bool
+	// scaledUp/scaleReqAt track an outstanding scale-up request so its
+	// realized provisioning makespan can be fed to the drift detector.
+	scaledUp   bool
+	scaleReqAt vclock.Time
 
 	rows []StageRow
 	// costAtLastBarrier tracks cumulative billing for per-stage
@@ -189,6 +222,7 @@ func Start(cfg Config) (*Job, error) {
 		store:     trial.NewStore(),
 		stageDone: make(map[trial.ID]bool),
 		gen:       make(map[trial.ID]int),
+		execPlan:  cfg.Plan.Clone(),
 	}
 	for i := 0; i < cfg.Spec.TotalTrials(); i++ {
 		r.trials = append(r.trials, trial.New(trial.ID(i), cfg.Configs[i]))
@@ -250,7 +284,7 @@ func (r *run) survivors() []*trial.Trial {
 func (r *run) startStage(i int) {
 	r.stage = i
 	st := r.cfg.Spec.Stage(i)
-	alloc := r.cfg.Plan.Alloc[i]
+	alloc := r.execPlan.Alloc[i]
 	gpn := r.cfg.Cluster.GPUsPerNode()
 
 	var need int
@@ -274,9 +308,14 @@ func (r *run) startStage(i int) {
 			}
 		}
 		r.tr.Record(now, trace.KindScaleDown, i, -1, fmt.Sprintf("to %d nodes", need))
+		r.scaledUp = false
 	} else if cur < need {
 		r.cfg.Cluster.ScaleUpTo(need)
 		r.tr.Record(now, trace.KindScaleUp, i, -1, fmt.Sprintf("to %d nodes", need))
+		r.scaledUp = true
+		r.scaleReqAt = now
+	} else {
+		r.scaledUp = false
 	}
 	r.cfg.Cluster.WhenSize(need, func() { r.beginTraining() })
 }
@@ -288,7 +327,11 @@ func (r *run) beginTraining() {
 		return
 	}
 	st := r.cfg.Spec.Stage(r.stage)
-	alloc := r.cfg.Plan.Alloc[r.stage]
+	alloc := r.execPlan.Alloc[r.stage]
+	if rc := r.cfg.Replan; rc != nil && r.scaledUp {
+		rc.ObserveProvision(float64(r.cfg.Clock.Now() - r.scaleReqAt))
+		r.scaledUp = false
+	}
 	surv := r.survivors()
 	if len(surv) != st.Trials {
 		r.fail(fmt.Errorf("executor: stage %d has %d survivors, spec wants %d", r.stage, len(surv), st.Trials))
@@ -322,6 +365,7 @@ func (r *run) beginTraining() {
 		r.allocs[placement.TrialID(t.ID())] = per
 	}
 
+	prev := r.plan
 	if err := r.place(); err != nil {
 		r.fail(err)
 		return
@@ -338,8 +382,14 @@ func (r *run) beginTraining() {
 		ClusterNodes: r.cfg.Cluster.Size(),
 		Start:        start,
 	})
-	r.tr.Record(start, trace.KindStageStart, r.stage, -1,
-		fmt.Sprintf("%d trials x %d iters @ %d GPUs/trial", st.Trials, st.Iters, per))
+	note := fmt.Sprintf("%d trials x %d iters @ %d GPUs/trial", st.Trials, st.Iters, per)
+	if r.replanAdopted {
+		// Annotate the migration churn a spliced plan induced. Notes are
+		// excluded from run digests, so the annotation cannot perturb
+		// replay or worker-invariance checks.
+		note += fmt.Sprintf(", %d gang(s) moved", placement.Moves(prev, r.plan))
+	}
+	r.tr.Record(start, trace.KindStageStart, r.stage, -1, note)
 
 	for _, t := range runnable {
 		r.startTrial(t, st.Iters, r.stage > 0)
@@ -488,6 +538,11 @@ func (r *run) runIteration(t *trial.Trial, left int) {
 	asg := r.plan[placement.TrialID(t.ID())]
 	gpus, spread := asg.GPUs(), asg.Nodes()
 	dur := r.cfg.Model.IterLatencyDist(r.cfg.Batch, gpus, spread).Sample(r.cfg.RNG)
+	if r.cfg.LatencyScale != nil {
+		// Drift injection: scale after the draw so the RNG stream is
+		// byte-identical with and without drift.
+		dur *= r.cfg.LatencyScale(r.cfg.Clock.Now())
+	}
 	gen := r.gen[t.ID()]
 	r.cfg.Clock.After(dur, func() {
 		if r.err != nil {
@@ -515,12 +570,79 @@ func (r *run) runIteration(t *trial.Trial, left int) {
 		}
 		r.tr.Record(now, trace.KindTrialIter, r.stage, int(t.ID()),
 			fmt.Sprintf("acc=%.4f", acc))
+		if rc := r.cfg.Replan; rc != nil {
+			// Feed the observation unconditionally; only replan when a
+			// future stage remains to be rewritten.
+			if rc.ObserveIteration(gpus, dur, now) && r.stage < r.cfg.Spec.NumStages()-1 {
+				r.tr.Record(now, trace.KindDriftTrigger, r.stage, int(t.ID()),
+					fmt.Sprintf("gpus=%d", gpus))
+				r.doReplan(replan.ReasonDrift)
+				if r.err != nil {
+					return
+				}
+			}
+		}
 		if left > 1 {
 			r.runIteration(t, left-1)
 			return
 		}
 		r.trialStageDone(t)
 	})
+}
+
+// doReplan asks the replan controller for a decision about the remaining
+// stages and splices an adopted plan into the live execution plan. The
+// current stage keeps running under its existing allocation either way —
+// plan surgery lands at the next stage boundary, where all trials are
+// paused and migration is a checkpoint restore, not a gang teleport.
+func (r *run) doReplan(reason replan.Reason) {
+	rc := r.cfg.Replan
+	now := r.cfg.Clock.Now()
+	d, err := rc.Replan(replan.State{
+		Stage:          r.stage,
+		Now:            now,
+		RemainingIters: r.remainingStageIters(),
+		Plan:           r.execPlan.Clone(),
+	}, reason)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	r.replans = append(r.replans, d)
+	r.tr.Record(now, trace.KindReplan, r.stage, -1, d.Note())
+	if d.Adopted {
+		r.execPlan = d.NewPlan.Clone()
+		r.replanAdopted = true
+	}
+}
+
+// remainingStageIters conservatively estimates the iterations still
+// standing between now and the current stage's barrier along the critical
+// path: the furthest-behind runner's remainder, a full stage budget for
+// any preemption-recovery restart, plus a full budget per queued wave.
+func (r *run) remainingStageIters() int {
+	st := r.cfg.Spec.Stage(r.stage)
+	end := r.cumItersBefore(r.stage) + st.Iters
+	left := 0
+	for _, t := range r.trials {
+		if t.State() != trial.Running || r.stageDone[t.ID()] {
+			continue
+		}
+		if l := end - t.CumIters(); l > left {
+			left = l
+		}
+	}
+	if len(r.pendingRestart) > 0 && st.Iters > left {
+		left = st.Iters
+	}
+	if n := len(r.queue); n > 0 {
+		slots := len(r.allocs)
+		if slots < 1 {
+			slots = 1
+		}
+		left += (n + slots - 1) / slots * st.Iters
+	}
+	return left
 }
 
 // trialStageDone handles a trial finishing its stage budget: hand its slot
@@ -571,6 +693,14 @@ func (r *run) onPreemption(node *cluster.Node) {
 	now := r.cfg.Clock.Now()
 	r.tr.Record(now, trace.KindScaleDown, r.stage, -1,
 		fmt.Sprintf("node %d preempted", node.ID))
+	if rc := r.cfg.Replan; rc != nil && r.stage < r.cfg.Spec.NumStages()-1 && rc.PreemptionTrigger(now) {
+		// The scale_down event above is the trigger evidence; no separate
+		// drift_trigger record for preemption-initiated replans.
+		r.doReplan(replan.ReasonPreemption)
+		if r.err != nil {
+			return
+		}
+	}
 
 	var affected []trial.ID
 	for pid, asg := range r.plan {
@@ -734,6 +864,8 @@ func (r *run) buildResult() *Result {
 		Schedule:    append([]StageRow(nil), r.rows...),
 		Preemptions: r.preemptions,
 		Trials:      r.trials,
+		Replans:     append([]replan.Decision(nil), r.replans...),
+		FinalPlan:   r.execPlan.Clone(),
 	}
 	res.BestTrial = -1
 	for _, t := range r.trials {

@@ -22,6 +22,11 @@ type Options struct {
 	Replay bool
 	// Oracles overrides the oracle set (nil means DefaultOracles).
 	Oracles []Oracle
+	// Mutate, when non-nil, adjusts each generated scenario before it
+	// runs (CLI overrides such as forcing the replan controller on or
+	// off). It is applied to the replay too, so determinism checks hold
+	// for the mutated scenario, and it must itself be deterministic.
+	Mutate func(*Scenario)
 }
 
 // ScenarioReport is the outcome of one scenario within a batch.
@@ -99,6 +104,9 @@ func RunIndex(opts Options, i int) ScenarioReport {
 // when requested — replays it to check bit-identical determinism.
 func runOne(opts Options, oracles []Oracle, i int) ScenarioReport {
 	sc := Generate(opts.Seed, i)
+	if opts.Mutate != nil {
+		opts.Mutate(&sc)
+	}
 	out := ScenarioReport{Scenario: sc}
 	a, err := RunScenario(sc)
 	if err != nil {

@@ -103,6 +103,33 @@ func ComputeDigest(a *Artifacts) Digest {
 		}
 	}
 
+	// Replan decisions and the plan actually executed. Booleans fold as
+	// 0/1 so any flip in adoption or feasibility flips the digest.
+	for _, g := range a.Result.FinalPlan.Alloc {
+		h.i64(int64(g))
+	}
+	h.i64(int64(len(a.Result.Replans)))
+	for _, d := range a.Result.Replans {
+		h.i64(int64(d.Seq))
+		h.f64(float64(d.At))
+		h.str(string(d.Reason))
+		h.i64(int64(d.Stage))
+		h.f64(d.Ratio)
+		h.f64(d.RemainingDeadline)
+		for _, g := range d.OldPlan.Alloc {
+			h.i64(int64(g))
+		}
+		for _, g := range d.NewPlan.Alloc {
+			h.i64(int64(g))
+		}
+		h.f64(d.StaleEstimate.JCT)
+		h.f64(d.StaleEstimate.Cost)
+		h.f64(d.NewEstimate.JCT)
+		h.f64(d.NewEstimate.Cost)
+		h.i64(b2i(d.Adopted))
+		h.i64(b2i(d.Infeasible))
+	}
+
 	// Billing ledger.
 	now := a.finishedAt()
 	h.i64(int64(len(a.Instances)))
@@ -116,6 +143,14 @@ func ComputeDigest(a *Artifacts) Digest {
 	h.i64(int64(a.Retries))
 
 	return Digest(h)
+}
+
+// b2i folds a bool into the hash domain.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // CombineDigests folds per-scenario digests (in scenario-index order) into

@@ -14,6 +14,9 @@ func FuzzEndToEnd(f *testing.F) {
 	f.Add(uint64(2), uint64(52))  // scatter double-booking regression
 	f.Add(uint64(3), uint64(195)) // scatter + spot preemptions
 	f.Add(uint64(42), uint64(13))
+	f.Add(uint64(4), uint64(2))   // drift-triggered replan, tail adopted
+	f.Add(uint64(4), uint64(17))  // drift classified infeasible, replan declines
+	f.Add(uint64(4), uint64(143)) // preemption-triggered replan
 	f.Fuzz(func(t *testing.T, seed, rawIndex uint64) {
 		index := int(rawIndex % 1024)
 		sc := Generate(seed, index)

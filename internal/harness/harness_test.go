@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/cloud"
+	"repro/internal/replan"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -113,6 +115,25 @@ func TestOraclesCatchMutations(t *testing.T) {
 		}},
 		{"stage trial count drift", "schedule-sanity", func(a *Artifacts) {
 			a.Result.Schedule[0].Trials++
+		}},
+		{"phantom replan decision", "replan-consistency", func(a *Artifacts) {
+			a.Result.Replans = append(a.Result.Replans, replan.Decision{
+				Seq:     len(a.Result.Replans),
+				Reason:  replan.ReasonDrift,
+				OldPlan: a.Plan.Clone(),
+				NewPlan: a.Plan.Clone(),
+			})
+		}},
+		{"adopted tail past remaining deadline", "deadline", func(a *Artifacts) {
+			a.Result.Replans = append(a.Result.Replans, replan.Decision{
+				Seq:               len(a.Result.Replans),
+				Reason:            replan.ReasonDrift,
+				RemainingDeadline: 50,
+				OldPlan:           a.Plan.Clone(),
+				NewPlan:           a.Plan.Clone(),
+				Adopted:           true,
+				NewEstimate:       sim.Estimate{JCT: 100},
+			})
 		}},
 	}
 	for _, tc := range cases {

@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/replan"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/trial"
 )
@@ -39,6 +41,7 @@ func DefaultOracles() []Oracle {
 		{Name: "gang-integrity", Check: checkGangIntegrity},
 		{Name: "no-lost-trials", Check: checkNoLostTrials},
 		{Name: "deadline", Check: checkDeadline},
+		{Name: "replan-consistency", Check: checkReplanConsistency},
 		{Name: "schedule-sanity", Check: checkScheduleSanity},
 	}
 }
@@ -295,6 +298,138 @@ func checkDeadline(a *Artifacts) []string {
 	}
 	if a.Estimate.JCT > a.Deadline+1e-9 {
 		out = append(out, fmt.Sprintf("planner accepted JCT %v over deadline %v", a.Estimate.JCT, a.Deadline))
+	}
+	// Replanning contract: an adopted tail must meet the remaining
+	// deadline it was planned under, and an infeasible-after-drift label
+	// needs an identifiable cause — under a deterministic on-profile run
+	// the detector never triggers, so a declared infeasibility with no
+	// drift, preemption, scatter or latency noise is a planner-side bug.
+	for _, d := range a.Result.Replans {
+		if d.Adopted && d.NewEstimate.JCT > d.RemainingDeadline+1e-9 {
+			out = append(out, fmt.Sprintf("replan %d adopted tail JCT %v over remaining deadline %v", d.Seq, d.NewEstimate.JCT, d.RemainingDeadline))
+		}
+		if d.Infeasible && !driftExcused(a) {
+			out = append(out, fmt.Sprintf("replan %d declared infeasible without drift, preemption, scatter or noise", d.Seq))
+		}
+	}
+	return out
+}
+
+// driftExcused reports whether an infeasible-after-drift replan outcome
+// has an identifiable cause in this run: injected drift, a preemption,
+// the scatter ablation (slower than the profiled co-located latency), or
+// stochastic iteration latency.
+func driftExcused(a *Artifacts) bool {
+	return a.DriftClass != DriftNone || a.Result.Preemptions > 0 ||
+		a.Scenario.DisablePlacement || a.Scenario.Model.IterNoiseStd > 0
+}
+
+// checkReplanConsistency verifies the replan loop's bookkeeping end to
+// end: decisions and trace events correspond one-to-one, every decision
+// has its trigger evidence (a drift_trigger event or a preemption),
+// decisions respect the cooldown, each rewrites only future stages within
+// the GPU cap, the decision chain links the initial plan to the final
+// plan, and the executed schedule reflects the final plan. Runs without a
+// controller must show no replan activity at all.
+func checkReplanConsistency(a *Artifacts) []string {
+	var out []string
+	reps := a.Result.Replans
+	events := a.Recorder.Filter(trace.KindReplan)
+	triggers := a.Recorder.Filter(trace.KindDriftTrigger)
+
+	if !a.Scenario.ReplanEnabled || !a.Planned {
+		if len(reps) > 0 || len(events) > 0 || len(triggers) > 0 {
+			out = append(out, fmt.Sprintf("%d replan decisions, %d replan events, %d drift triggers without a controller",
+				len(reps), len(events), len(triggers)))
+		}
+		return out
+	}
+
+	nStages := a.Scenario.Spec.NumStages()
+	final := a.Result.FinalPlan
+	if err := final.Validate(nStages); err != nil {
+		out = append(out, fmt.Sprintf("final plan invalid: %v", err))
+		return out
+	}
+	// The executed schedule must reflect the final plan: replans never
+	// rewrite a stage that has started, so every realized row matches it.
+	for _, row := range a.Result.Schedule {
+		if row.Stage < 0 || row.Stage >= nStages {
+			continue // schedule-sanity reports malformed rows
+		}
+		if want := sim.GPUsPerTrial(final.Alloc[row.Stage], row.Trials); row.GPUsPerTrial != want {
+			out = append(out, fmt.Sprintf("stage %d executed %d GPUs/trial, final plan implies %d", row.Stage, row.GPUsPerTrial, want))
+		}
+	}
+
+	if len(events) != len(reps) {
+		out = append(out, fmt.Sprintf("%d replan trace events for %d decisions", len(events), len(reps)))
+	}
+
+	prev := a.Plan
+	for i, d := range reps {
+		if d.Seq != i {
+			out = append(out, fmt.Sprintf("decision %d carries seq %d", i, d.Seq))
+		}
+		if i < len(events) {
+			if e := events[i]; float64(e.At) != float64(d.At) || e.Stage != d.Stage {
+				out = append(out, fmt.Sprintf("decision %d at (%v, stage %d) but trace event at (%v, stage %d)", i, d.At, d.Stage, e.At, e.Stage))
+			}
+		}
+		if i > 0 {
+			if dt := float64(d.At - reps[i-1].At); dt < a.Scenario.ReplanCooldown-1e-9 {
+				out = append(out, fmt.Sprintf("decisions %d and %d only %vs apart, cooldown is %vs", i-1, i, dt, a.Scenario.ReplanCooldown))
+			}
+		}
+		switch d.Reason {
+		case replan.ReasonDrift:
+			found := false
+			for _, t := range triggers {
+				if t.At == d.At && t.Stage == d.Stage {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, fmt.Sprintf("drift decision %d has no drift_trigger event at (%v, stage %d)", i, d.At, d.Stage))
+			}
+		case replan.ReasonPreemption:
+			if a.Result.Preemptions == 0 {
+				out = append(out, fmt.Sprintf("preemption decision %d in a run with zero preemptions", i))
+			}
+		default:
+			out = append(out, fmt.Sprintf("decision %d has unknown reason %q", i, d.Reason))
+		}
+		if d.Stage < 0 || d.Stage >= nStages-1 {
+			out = append(out, fmt.Sprintf("decision %d replans from stage %d of %d (no tail)", i, d.Stage, nStages))
+			continue
+		}
+		if err := d.NewPlan.Validate(nStages); err != nil {
+			out = append(out, fmt.Sprintf("decision %d produced invalid plan: %v", i, err))
+			continue
+		}
+		if !d.OldPlan.Equal(prev) {
+			out = append(out, fmt.Sprintf("decision %d starts from %v, chain expects %v", i, d.OldPlan, prev))
+		}
+		for j := 0; j <= d.Stage; j++ {
+			if d.NewPlan.Alloc[j] != d.OldPlan.Alloc[j] {
+				out = append(out, fmt.Sprintf("decision %d rewrote executed stage %d (%d -> %d GPUs)", i, j, d.OldPlan.Alloc[j], d.NewPlan.Alloc[j]))
+				break
+			}
+		}
+		if d.NewPlan.Max() > a.Scenario.MaxGPUs {
+			out = append(out, fmt.Sprintf("decision %d plan peak %d GPUs exceeds cap %d", i, d.NewPlan.Max(), a.Scenario.MaxGPUs))
+		}
+		if !d.Adopted && !d.NewPlan.Equal(d.OldPlan) {
+			out = append(out, fmt.Sprintf("decision %d not adopted but plan changed %v -> %v", i, d.OldPlan, d.NewPlan))
+		}
+		if d.Adopted && d.Infeasible {
+			out = append(out, fmt.Sprintf("decision %d both adopted and infeasible", i))
+		}
+		prev = d.NewPlan
+	}
+	if !final.Equal(prev) {
+		out = append(out, fmt.Sprintf("final plan %v does not close the decision chain (expected %v)", final, prev))
 	}
 	return out
 }

@@ -8,10 +8,43 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/executor"
 	"repro/internal/planner"
+	"repro/internal/replan"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
+
+// DriftClass labels a scenario's relationship between injected drift and
+// the sampled deadline, computed at plan time from analytic bounds (no
+// Monte-Carlo). Oracles use it to tell a legitimate
+// infeasible-after-drift outcome from a planner bug.
+type DriftClass int
+
+const (
+	// DriftNone means no drift was injected.
+	DriftNone DriftClass = iota
+	// DriftFeasible means drift was injected but the deadline may still
+	// be reachable under the drifted latency regime.
+	DriftFeasible
+	// DriftInfeasible means even a full static cluster at MaxGPUs running
+	// the whole job under the drifted regime would miss the deadline —
+	// no replan can save the run.
+	DriftInfeasible
+)
+
+// String renders the class for reports.
+func (d DriftClass) String() string {
+	switch d {
+	case DriftNone:
+		return "none"
+	case DriftFeasible:
+		return "feasible"
+	case DriftInfeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("DriftClass(%d)", int(d))
+	}
+}
 
 // maxSteps bounds the number of virtual-clock events one scenario may
 // execute. The largest generated scenarios finish in well under 100k
@@ -51,6 +84,8 @@ type Artifacts struct {
 	GPN int
 	// Steps is the number of virtual-clock events executed.
 	Steps int
+	// DriftClass labels the scenario's drift-vs-deadline relationship.
+	DriftClass DriftClass
 }
 
 // finishedAt returns the virtual completion instant of the run.
@@ -92,6 +127,62 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 		a.Plan = sim.Plan{Alloc: alloc}
 	}
 
+	// Classify the injected drift against the deadline: if even the full
+	// static cluster running the whole job at the drifted latency misses
+	// the deadline, no replan can save the run and oracles must not treat
+	// an infeasible-after-drift outcome as a bug. StaticClusterJCT is
+	// analytic (means only, no Monte-Carlo), so this draws nothing.
+	if sc.Drift.Active() {
+		a.DriftClass = DriftFeasible
+		if sc.Drift.Factor > 1 {
+			dsm, derr := sim.New(sc.Spec, sim.ScaledTrainProfile{Base: profile, Factor: sc.Drift.Factor},
+				sc.Profile, sc.Samples, root.Stream(streamSim), sim.WithWorkers(1), sim.WithEstimator(sc.Estimator))
+			if derr != nil {
+				return nil, fmt.Errorf("harness: drifted simulator: %w", derr)
+			}
+			if deadline < dsm.StaticClusterJCT(sc.MaxGPUs) {
+				a.DriftClass = DriftInfeasible
+			}
+		}
+	}
+
+	// Drift injection: a step function of virtual time only, so enabling
+	// it never perturbs any RNG stream.
+	var latencyScale func(vclock.Time) float64
+	if sc.Drift.Active() {
+		onset := vclock.Time(deadline * sc.Drift.StartFraction)
+		factor := sc.Drift.Factor
+		latencyScale = func(now vclock.Time) float64 {
+			if now >= onset {
+				return factor
+			}
+			return 1
+		}
+	}
+
+	// The replan controller only runs for planner-produced plans: the
+	// fallback plan is already the planner's declaration of infeasibility
+	// and there is no deadline budget to re-divide.
+	var ctl *replan.Controller
+	if sc.ReplanEnabled && a.Planned {
+		ctl, err = replan.NewController(replan.Config{
+			Spec:            sc.Spec,
+			Profile:         profile,
+			Cloud:           sc.Profile,
+			Deadline:        deadline,
+			MaxGPUs:         sc.MaxGPUs,
+			Samples:         sc.Samples,
+			Workers:         1,
+			Estimator:       sc.Estimator,
+			RNG:             root.Stream(streamReplan),
+			Threshold:       sc.DriftThreshold,
+			CooldownSeconds: sc.ReplanCooldown,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("harness: replan controller: %w", err)
+		}
+	}
+
 	// Execute on a fresh substrate.
 	clock := vclock.New()
 	provider, err := cloud.NewProvider(clock, root.Stream(streamProvider),
@@ -120,6 +211,8 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 		DisablePlacement: sc.DisablePlacement,
 		RestoreSeconds:   sc.RestoreSeconds,
 		Trace:            rec,
+		LatencyScale:     latencyScale,
+		Replan:           ctl,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: start: %w", err)

@@ -58,7 +58,29 @@ type Scenario struct {
 	// the chaos sweep exercises both the incremental segment estimator
 	// and the full-DAG reference.
 	Estimator sim.EstimatorMode
+	// Drift injects a mid-run latency regime change the planner did not
+	// see: every iteration starting after the drift onset runs Factor×
+	// slower (or faster) than profiled.
+	Drift DriftModel
+	// ReplanEnabled wires the online replanning controller into the
+	// executor; disabled runs exercise the stale-plan baseline.
+	ReplanEnabled bool
+	// DriftThreshold is the replan controller's EWMA trigger threshold.
+	DriftThreshold float64
+	// ReplanCooldown is the minimum virtual time between replans.
+	ReplanCooldown float64
 }
+
+// DriftModel describes an injected latency regime change: from virtual
+// time deadline×StartFraction onward, iteration latencies are multiplied
+// by Factor. The zero value (or Factor 1) means no drift.
+type DriftModel struct {
+	Factor        float64
+	StartFraction float64
+}
+
+// Active reports whether the model changes anything.
+func (d DriftModel) Active() bool { return d.Factor > 0 && d.Factor != 1 }
 
 // Stream indices for the per-scenario RNG tree. Generate and RunScenario
 // never share a stream, so adding draws to one phase cannot shift another.
@@ -68,6 +90,7 @@ const (
 	streamProvider
 	streamExecutor
 	streamConfigs
+	streamReplan
 )
 
 // scenarioRoot returns the root RNG of scenario (seed, index). Stream is
@@ -165,7 +188,7 @@ func Generate(seed uint64, index int) Scenario {
 		maxGPUs = 32
 	}
 
-	return Scenario{
+	sc := Scenario{
 		BatchSeed:        seed,
 		Index:            index,
 		Spec:             s,
@@ -178,19 +201,36 @@ func Generate(seed uint64, index int) Scenario {
 		MaxGPUs:          maxGPUs,
 		Samples:          4,
 		DeadlineFactor:   uniform(r, 0.8, 2.5),
-		// Drawn last so pre-existing scenario corpora keep every other
-		// field for a given (seed, index).
+		// Drawn after the fields above so pre-existing scenario corpora
+		// keep every other field for a given (seed, index).
 		Estimator: pick(r, sim.EstimatorSegment, sim.EstimatorFull),
 	}
+
+	// Drift and replanning draws come last, after every pre-existing
+	// field, for the same corpus-stability reason. A third of scenarios
+	// slow down mid-run, a third speed up, a third stay on-profile; half
+	// run with the replan controller wired in.
+	switch r.Intn(3) {
+	case 1:
+		sc.Drift = DriftModel{Factor: pick(r, 1.5, 2.0, 3.0), StartFraction: uniform(r, 0.05, 0.6)}
+	case 2:
+		sc.Drift = DriftModel{Factor: pick(r, 0.4, 0.7), StartFraction: uniform(r, 0.05, 0.6)}
+	}
+	sc.ReplanEnabled = r.Intn(2) == 0
+	sc.DriftThreshold = pick(r, 0.15, 0.25, 0.4)
+	sc.ReplanCooldown = uniform(r, 5, 120)
+	return sc
 }
 
 // String renders the scenario compactly for failure reports.
 func (sc Scenario) String() string {
 	return fmt.Sprintf(
 		"seed=%d index=%d spec=%v model=%s inst=%s billing=%v market=%v minCharge=%gs dataGB=%.1f "+
-			"faults={pfail=%.3f preemptMean=%.0fs} restore=%.1fs scatter=%v maxGPUs=%d deadlineFactor=%.2f estimator=%v",
+			"faults={pfail=%.3f preemptMean=%.0fs} restore=%.1fs scatter=%v maxGPUs=%d deadlineFactor=%.2f estimator=%v "+
+			"drift={x%.1f@%.2f} replan=%v threshold=%.2f cooldown=%.0fs",
 		sc.BatchSeed, sc.Index, sc.Spec, sc.Model.Name, sc.Profile.Instance.Name,
 		sc.Profile.Pricing.Billing, sc.Profile.Pricing.Market, sc.Profile.Pricing.MinChargeSeconds,
 		sc.Profile.DatasetGB, sc.Faults.ProvisionFailureProb, sc.Faults.PreemptionMeanSeconds,
-		sc.RestoreSeconds, sc.DisablePlacement, sc.MaxGPUs, sc.DeadlineFactor, sc.Estimator)
+		sc.RestoreSeconds, sc.DisablePlacement, sc.MaxGPUs, sc.DeadlineFactor, sc.Estimator,
+		sc.Drift.Factor, sc.Drift.StartFraction, sc.ReplanEnabled, sc.DriftThreshold, sc.ReplanCooldown)
 }

@@ -62,6 +62,34 @@ func (p Plan) clone() Plan {
 	return c
 }
 
+// equal reports whether two assignments hold the same GPUs on the same
+// nodes.
+func (a Assignment) equal(b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for n, g := range a {
+		if b[n] != g {
+			return false
+		}
+	}
+	return true
+}
+
+// Moves counts the trials in next whose gang differs from their gang in
+// prev (absent, or placed on different nodes/GPU counts) — the migration
+// cost of transitioning between two placement plans. The executor reports
+// it when a replanned allocation lands at a stage boundary.
+func Moves(prev, next Plan) int {
+	moved := 0
+	for t, asg := range next {
+		if !asg.equal(prev[t]) {
+			moved++
+		}
+	}
+	return moved
+}
+
 // Controller computes placement plans over scheduling epochs.
 type Controller struct {
 	nodeGPUs int

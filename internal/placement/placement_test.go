@@ -529,3 +529,30 @@ func plansEqual(a, b Plan) bool {
 	}
 	return true
 }
+
+func TestMoves(t *testing.T) {
+	prev := Plan{
+		0: {0: 4},
+		1: {1: 2},
+		2: {1: 2},
+	}
+	next := Plan{
+		0: {0: 4},       // unchanged
+		1: {2: 2},       // moved node
+		2: {1: 2, 2: 2}, // grew
+		3: {3: 4},       // new trial
+	}
+	if got := Moves(prev, next); got != 3 {
+		t.Fatalf("Moves = %d, want 3", got)
+	}
+	if got := Moves(prev, prev); got != 0 {
+		t.Fatalf("Moves(p, p) = %d, want 0", got)
+	}
+	if got := Moves(Plan{}, prev); got != len(prev) {
+		t.Fatalf("Moves from empty = %d, want %d", got, len(prev))
+	}
+	// Trials dropped from next don't count: only next's gangs migrate.
+	if got := Moves(prev, Plan{0: {0: 4}}); got != 0 {
+		t.Fatalf("Moves after termination = %d, want 0", got)
+	}
+}

@@ -1,0 +1,455 @@
+// Package replan closes the loop between the executor and the planner:
+// an online replanning controller that watches execution drift away from
+// the profiled prediction and recompiles the remainder of the allocation
+// plan under the remainder of the deadline.
+//
+// The executor feeds observed per-iteration training latencies (and
+// provisioning INIT/queue makespans) into a streaming drift detector — an
+// exponentially weighted moving average of the observed-vs-predicted
+// latency ratio, kept per allocation, with a configurable trigger
+// threshold and a cooldown measured on the virtual clock. When the EWMA
+// deviates past the threshold, or when the provider preempts capacity,
+// the controller:
+//
+//  1. re-fits the profiled scaling function from the accumulated
+//     observations (profiler.Refit),
+//  2. re-invokes planner.PlanElastic for the remaining stages under the
+//     remaining deadline via the (cheap, segment-estimator) simulator, and
+//  3. hands back a spliced plan — executed and executing stages keep
+//     their allocations, only future stages are rewritten — which the
+//     executor's placement controller transitions to at the next stage
+//     boundary with minimal migration.
+//
+// Purity and determinism contract: every Decision is a pure function of
+// (the observation sequence so far, the decision's ordinal, the virtual
+// clock's now). The controller draws no wall-clock time and no global
+// randomness; the replanning simulator for decision i seeds from
+// Config.RNG.Stream(i), a pure derivation, so decisions are bit-identical
+// across worker counts and across replays.
+package replan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/planner"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// Reason classifies what initiated a replan decision.
+type Reason string
+
+const (
+	// ReasonDrift is a drift-detector trigger: the EWMA of the
+	// observed-vs-predicted iteration-latency ratio left the threshold
+	// band around 1.
+	ReasonDrift Reason = "drift"
+	// ReasonPreemption is a provider preemption event.
+	ReasonPreemption Reason = "preemption"
+)
+
+// Config parameterizes a Controller. Spec, Profile, Cloud, Deadline,
+// MaxGPUs, Samples and Estimator mirror the planning-time configuration
+// the original plan was compiled under.
+type Config struct {
+	// Spec is the full experiment structure being executed.
+	Spec *spec.ExperimentSpec
+	// Profile is the planning-time training profile (pre-drift
+	// predictions; the denominator of every drift ratio).
+	Profile sim.TrainProfile
+	// Cloud is the provider profile plans are priced against.
+	Cloud sim.CloudProfile
+	// Deadline is the job's absolute time constraint in virtual seconds.
+	Deadline float64
+	// MaxGPUs caps the replanned peak cluster size (same cap as the
+	// original planning run).
+	MaxGPUs int
+	// Samples is the replanning simulator's Monte-Carlo sample count.
+	// Zero selects sim.DefaultSamples.
+	Samples int
+	// Workers bounds replanning concurrency (simulator fan-out and
+	// candidate evaluation). Zero selects GOMAXPROCS; output is
+	// bit-identical at any setting.
+	Workers int
+	// Estimator selects the replanning simulator's estimator mode (the
+	// zero value is the segment estimator, whose warm-path cost is what
+	// makes mid-run replanning affordable).
+	Estimator sim.EstimatorMode
+	// RNG is the controller's root random stream. Decision i seeds its
+	// simulator from RNG.Stream(i) — a pure derivation, so the parent
+	// stream never advances and replays are bit-identical.
+	RNG *stats.RNG
+	// Threshold is the relative EWMA deviation |ewma−1| that triggers a
+	// replan. Zero selects 0.25.
+	Threshold float64
+	// Alpha is the EWMA smoothing factor in (0, 1]. Zero selects 0.3.
+	Alpha float64
+	// MinObservations is the number of iteration observations required
+	// before the detector may trigger. Zero selects 3.
+	MinObservations int
+	// CooldownSeconds is the minimum virtual time between replan
+	// decisions. Zero selects 60.
+	CooldownSeconds float64
+	// Delta is the planner's minimum cost improvement in dollars, also
+	// used as the stale-vs-new adoption margin. Zero selects the
+	// planner's default (0.01).
+	Delta float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples <= 0 {
+		c.Samples = sim.DefaultSamples
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.25
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.3
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = 3
+	}
+	if c.CooldownSeconds <= 0 {
+		c.CooldownSeconds = 60
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.01
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Spec == nil:
+		return fmt.Errorf("replan: nil spec")
+	case c.Profile == nil:
+		return fmt.Errorf("replan: nil profile")
+	case c.RNG == nil:
+		return fmt.Errorf("replan: nil rng")
+	case c.Deadline <= 0 || math.IsInf(c.Deadline, 0) || math.IsNaN(c.Deadline):
+		return fmt.Errorf("replan: deadline %v", c.Deadline)
+	case c.MaxGPUs < 1:
+		return fmt.Errorf("replan: max GPUs %d", c.MaxGPUs)
+	case c.Alpha > 1:
+		return fmt.Errorf("replan: EWMA alpha %v > 1", c.Alpha)
+	}
+	return c.Cloud.Validate()
+}
+
+// allocStat is the detector state for one per-trial allocation.
+type allocStat struct {
+	ewma  float64 // EWMA of observed/predicted latency ratio
+	count int     // observations folded in
+}
+
+// State is the executor-side snapshot a replan decision is computed from.
+type State struct {
+	// Stage is the stage executing when the decision is made; only
+	// stages after it are replanned.
+	Stage int
+	// Now is the virtual time of the decision.
+	Now vclock.Time
+	// RemainingIters is the predicted number of serialized iterations
+	// left in the current stage (the straggler's remaining budget,
+	// including queued trials waiting for slots).
+	RemainingIters int
+	// Plan is the live full plan (executed prefix + stale tail).
+	Plan sim.Plan
+}
+
+// Decision is one replan outcome — the replayable record folded into the
+// trace and the harness digest.
+type Decision struct {
+	// Seq is the decision's ordinal within the run (0-based).
+	Seq int
+	// At is the virtual decision time.
+	At vclock.Time
+	// Reason is what initiated the decision.
+	Reason Reason
+	// Stage is the stage that was executing; stages > Stage were
+	// replanned.
+	Stage int
+	// Ratio is the observation-weighted global drift ratio at decision
+	// time (1 when no iteration observation had arrived).
+	Ratio float64
+	// RemainingDeadline is the budget handed to the planner: the
+	// absolute deadline minus now minus the predicted remainder of the
+	// current stage. May be ≤ 0 when the deadline is already lost.
+	RemainingDeadline float64
+	// OldPlan is the full plan before the decision; NewPlan after it
+	// (equal to OldPlan unless Adopted).
+	OldPlan, NewPlan sim.Plan
+	// StaleEstimate prices OldPlan's remaining tail under the re-fitted
+	// profile (zero Estimate when the remaining deadline was already
+	// negative and no simulation ran).
+	StaleEstimate sim.Estimate
+	// NewEstimate prices the adopted tail (valid only when Adopted).
+	NewEstimate sim.Estimate
+	// Adopted reports whether the spliced plan replaced the stale tail.
+	Adopted bool
+	// Infeasible reports that no tail within MaxGPUs — the stale one
+	// included — meets the remaining deadline; the stale plan is kept
+	// and the job is infeasible-after-drift.
+	Infeasible bool
+}
+
+// Note renders the decision compactly for trace events.
+func (d Decision) Note() string {
+	switch {
+	case d.Infeasible:
+		return fmt.Sprintf("%s: infeasible under remaining deadline %.0fs, kept %v", d.Reason, d.RemainingDeadline, d.OldPlan)
+	case d.Adopted:
+		return fmt.Sprintf("%s: adopted %v (stale %v), tail JCT %.0fs ≤ %.0fs", d.Reason, d.NewPlan, d.OldPlan, d.NewEstimate.JCT, d.RemainingDeadline)
+	default:
+		return fmt.Sprintf("%s: kept %v", d.Reason, d.OldPlan)
+	}
+}
+
+// Controller is the online replanning state machine. It is driven
+// single-threaded from the executor's virtual-clock callbacks and must
+// not be shared across clocks.
+type Controller struct {
+	cfg Config
+
+	// stats holds per-allocation detector state; keys mirrors its key
+	// set in ascending order so no decision ever iterates a map.
+	stats map[int]*allocStat
+	keys  []int
+	// totalObs counts iteration observations across allocations.
+	totalObs int
+
+	// overheadEWMA tracks observed/predicted provisioning makespans
+	// (queue + init). It refines the re-fitted cloud profile but never
+	// triggers by itself: provisioning realizes once per scale-up with
+	// heavy-tailed draws, too few samples for a stable trigger.
+	overheadEWMA  float64
+	overheadCount int
+
+	armed      bool // a replan happened; cooldown applies
+	lastReplan vclock.Time
+	decisions  []Decision
+}
+
+// NewController validates the configuration and returns a fresh
+// controller with no observations.
+func NewController(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, stats: make(map[int]*allocStat)}, nil
+}
+
+// Config returns the controller's effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Decisions returns the replan decisions taken so far, in order.
+func (c *Controller) Decisions() []Decision {
+	return append([]Decision(nil), c.decisions...)
+}
+
+// cooldownOver reports whether a new decision is permitted at now.
+func (c *Controller) cooldownOver(now vclock.Time) bool {
+	return !c.armed || float64(now-c.lastReplan) >= c.cfg.CooldownSeconds
+}
+
+// ObserveIteration folds one observed iteration latency at the given
+// per-trial allocation into the drift detector and reports whether the
+// detector triggers: enough observations, EWMA deviation past the
+// threshold, cooldown elapsed. The caller decides whether a trigger
+// becomes a Replan (there is nothing to replan in the last stage).
+func (c *Controller) ObserveIteration(gpus int, observed float64, now vclock.Time) bool {
+	pred := c.cfg.Profile.IterDist(gpus).Mean()
+	if pred <= 0 || observed < 0 {
+		return false
+	}
+	ratio := observed / pred
+	st := c.stats[gpus]
+	if st == nil {
+		st = &allocStat{ewma: ratio}
+		c.stats[gpus] = st
+		c.keys = append(c.keys, gpus)
+		sort.Ints(c.keys)
+	} else {
+		st.ewma = c.cfg.Alpha*ratio + (1-c.cfg.Alpha)*st.ewma
+	}
+	st.count++
+	c.totalObs++
+	return c.totalObs >= c.cfg.MinObservations &&
+		math.Abs(st.ewma-1) >= c.cfg.Threshold &&
+		c.cooldownOver(now)
+}
+
+// ObserveProvision folds one observed provisioning makespan (request to
+// capacity-ready, i.e. queue delay + INIT latency) into the overhead
+// tracker. Provisioning observations refine re-fits but never trigger a
+// replan by themselves: they realize once per scale-up from heavy-tailed
+// draws — too few samples for a stable trigger.
+func (c *Controller) ObserveProvision(observed float64) {
+	pred := c.cfg.Cloud.Overheads.QueueDelay.Mean() + c.cfg.Cloud.Overheads.InitLatency.Mean()
+	if pred <= 0 || observed < 0 {
+		return
+	}
+	ratio := observed / pred
+	if c.overheadCount == 0 {
+		c.overheadEWMA = ratio
+	} else {
+		c.overheadEWMA = c.cfg.Alpha*ratio + (1-c.cfg.Alpha)*c.overheadEWMA
+	}
+	c.overheadCount++
+}
+
+// PreemptionTrigger reports whether a preemption at now should initiate a
+// replan (cooldown elapsed).
+func (c *Controller) PreemptionTrigger(now vclock.Time) bool {
+	return c.cooldownOver(now)
+}
+
+// ratio returns the observation-weighted global drift ratio.
+func (c *Controller) ratio() float64 {
+	if c.totalObs == 0 {
+		return 1
+	}
+	var sum, weight float64
+	for _, g := range c.keys {
+		st := c.stats[g]
+		sum += float64(st.count) * st.ewma
+		weight += float64(st.count)
+	}
+	return sum / weight
+}
+
+// observations snapshots the detector state as profiler observations, in
+// ascending allocation order. The per-allocation mean handed to the
+// re-fit is the EWMA ratio × the profiled mean, so the fit reflects the
+// current latency regime rather than the whole history.
+func (c *Controller) observations() []profiler.Observation {
+	out := make([]profiler.Observation, 0, len(c.keys))
+	for _, g := range c.keys {
+		st := c.stats[g]
+		out = append(out, profiler.Observation{
+			GPUs:  g,
+			Mean:  st.ewma * c.cfg.Profile.IterDist(g).Mean(),
+			Count: st.count,
+		})
+	}
+	return out
+}
+
+// refitProfiles re-fits the training profile and cloud overheads from the
+// observations accumulated so far. With no iteration observations (a
+// preemption before any iteration completed) the planning-time profile is
+// reused unchanged.
+func (c *Controller) refitProfiles() (sim.TrainProfile, sim.CloudProfile, error) {
+	prof := c.cfg.Profile
+	if c.totalObs > 0 {
+		fitted, err := profiler.Refit(c.cfg.Profile, c.cfg.MaxGPUs, c.observations())
+		if err != nil {
+			return nil, sim.CloudProfile{}, err
+		}
+		prof = fitted
+	}
+	cp := c.cfg.Cloud
+	if c.overheadCount > 0 && c.overheadEWMA > 0 && c.overheadEWMA != 1 {
+		cp.Overheads.QueueDelay = stats.Scaled{D: cp.Overheads.QueueDelay, Factor: c.overheadEWMA}
+		cp.Overheads.InitLatency = stats.Scaled{D: cp.Overheads.InitLatency, Factor: c.overheadEWMA}
+	}
+	return prof, cp, nil
+}
+
+// Replan computes and commits one replan decision for the given executor
+// state: re-fit from observations, re-plan the remaining stages under the
+// remaining deadline, splice. The stale tail is kept unless it misses the
+// remaining deadline or the replanned tail is cheaper by at least Delta —
+// so a spurious trigger under zero drift is a no-op on the executed plan.
+// The caller must guarantee state.Stage is not the last stage.
+func (c *Controller) Replan(state State, reason Reason) (Decision, error) {
+	if state.Stage < 0 || state.Stage >= c.cfg.Spec.NumStages()-1 {
+		return Decision{}, fmt.Errorf("replan: stage %d of %d has no tail to replan", state.Stage, c.cfg.Spec.NumStages())
+	}
+	if err := state.Plan.Validate(c.cfg.Spec.NumStages()); err != nil {
+		return Decision{}, err
+	}
+
+	seq := len(c.decisions)
+	d := Decision{
+		Seq:     seq,
+		At:      state.Now,
+		Reason:  reason,
+		Stage:   state.Stage,
+		Ratio:   c.ratio(),
+		OldPlan: state.Plan.Clone(),
+		NewPlan: state.Plan.Clone(),
+	}
+
+	prof, cp, err := c.refitProfiles()
+	if err != nil {
+		return Decision{}, err
+	}
+
+	// Predict the remainder of the executing stage under the re-fitted
+	// profile; the tail's budget is what's left of the deadline after it.
+	st := c.cfg.Spec.Stage(state.Stage)
+	per := sim.GPUsPerTrial(state.Plan.Alloc[state.Stage], st.Trials)
+	curRemaining := float64(state.RemainingIters) * prof.IterDist(per).Mean()
+	d.RemainingDeadline = c.cfg.Deadline - float64(state.Now) - curRemaining
+
+	if d.RemainingDeadline <= 0 {
+		// The deadline is already lost before the tail even starts; no
+		// plan can fix that.
+		d.Infeasible = true
+		c.commit(d, state.Now)
+		return d, nil
+	}
+
+	suffix := c.cfg.Spec.Suffix(state.Stage + 1)
+	staleTail := state.Plan.Suffix(state.Stage + 1)
+	sm, err := sim.New(suffix, prof, cp, c.cfg.Samples, c.cfg.RNG.Stream(uint64(seq)),
+		sim.WithWorkers(c.cfg.Workers), sim.WithEstimator(c.cfg.Estimator))
+	if err != nil {
+		return Decision{}, err
+	}
+	staleEst, err := sm.Estimate(staleTail)
+	if err != nil {
+		return Decision{}, err
+	}
+	d.StaleEstimate = staleEst
+	staleFeasible := staleEst.JCT <= d.RemainingDeadline
+
+	p := &planner.Planner{
+		Sim:      sm,
+		Deadline: d.RemainingDeadline,
+		MaxGPUs:  c.cfg.MaxGPUs,
+		Workers:  c.cfg.Workers,
+		Delta:    c.cfg.Delta,
+	}
+	res, perr := p.PlanElastic()
+	switch {
+	case perr == planner.ErrInfeasible:
+		// No planner tail fits; the job is infeasible-after-drift unless
+		// the stale tail itself still makes the deadline.
+		d.Infeasible = !staleFeasible
+	case perr != nil:
+		return Decision{}, perr
+	default:
+		if !staleFeasible || res.Estimate.Cost < staleEst.Cost-c.cfg.Delta {
+			d.Adopted = true
+			d.NewEstimate = res.Estimate
+			d.NewPlan = state.Plan.Splice(state.Stage+1, res.Plan)
+		}
+	}
+	c.commit(d, state.Now)
+	return d, nil
+}
+
+// commit records the decision and arms the cooldown.
+func (c *Controller) commit(d Decision, now vclock.Time) {
+	c.decisions = append(c.decisions, d)
+	c.armed = true
+	c.lastReplan = now
+}

@@ -1,0 +1,254 @@
+package replan
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// flatProfile predicts a constant iteration latency at every allocation.
+type flatProfile struct{ mean float64 }
+
+func (p flatProfile) IterDist(gpus int) stats.Dist {
+	return stats.Deterministic{Value: p.mean / float64(gpus)}
+}
+
+func testSpec(t *testing.T) *spec.ExperimentSpec {
+	t.Helper()
+	s, err := spec.New(
+		spec.Stage{Trials: 4, Iters: 4},
+		spec.Stage{Trials: 2, Iters: 4},
+		spec.Stage{Trials: 1, Iters: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	return Config{
+		Spec:     testSpec(t),
+		Profile:  flatProfile{mean: 40},
+		Cloud:    sim.DefaultCloudProfile(),
+		Deadline: 2000,
+		MaxGPUs:  16,
+		Samples:  4,
+		Workers:  workers,
+		RNG:      stats.NewRNG(7),
+	}
+}
+
+func newTestController(t *testing.T, workers int) *Controller {
+	t.Helper()
+	c, err := NewController(testConfig(t, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil spec", func(c *Config) { c.Spec = nil }},
+		{"nil profile", func(c *Config) { c.Profile = nil }},
+		{"nil rng", func(c *Config) { c.RNG = nil }},
+		{"zero deadline", func(c *Config) { c.Deadline = 0 }},
+		{"nan deadline", func(c *Config) { c.Deadline = math.NaN() }},
+		{"inf deadline", func(c *Config) { c.Deadline = math.Inf(1) }},
+		{"zero max gpus", func(c *Config) { c.MaxGPUs = 0 }},
+		{"alpha over 1", func(c *Config) { c.Alpha = 1.5 }},
+		{"bad cloud", func(c *Config) { c.Cloud.Instance.GPUs = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(t, 1)
+			tc.mutate(&cfg)
+			if _, err := NewController(cfg); err == nil {
+				t.Fatalf("NewController accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	base := testConfig(t, 1)
+	base.Samples = 0
+	c, err := NewController(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	if cfg.Threshold != 0.25 || cfg.Alpha != 0.3 || cfg.MinObservations != 3 ||
+		cfg.CooldownSeconds != 60 || cfg.Delta != 0.01 || cfg.Samples != sim.DefaultSamples {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+// TestOnProfileNeverTriggers is the detector half of the zero-drift no-op
+// guarantee: observations exactly matching the prediction keep the EWMA at
+// exactly 1, so the detector never fires no matter how many arrive.
+func TestOnProfileNeverTriggers(t *testing.T) {
+	c := newTestController(t, 1)
+	for i := 0; i < 100; i++ {
+		pred := c.Config().Profile.IterDist(4).Mean()
+		if c.ObserveIteration(4, pred, vclock.Time(i)) {
+			t.Fatalf("detector fired on observation %d with zero drift", i)
+		}
+	}
+}
+
+func TestDriftTriggersAfterMinObservations(t *testing.T) {
+	c := newTestController(t, 1)
+	pred := c.Config().Profile.IterDist(4).Mean()
+	for i := 0; i < 2; i++ {
+		if c.ObserveIteration(4, 2*pred, vclock.Time(i)) {
+			t.Fatalf("detector fired at observation %d, MinObservations is 3", i+1)
+		}
+	}
+	if !c.ObserveIteration(4, 2*pred, 2) {
+		t.Fatal("detector did not fire at 2x drift after MinObservations")
+	}
+}
+
+func TestSpeedupAlsoTriggers(t *testing.T) {
+	c := newTestController(t, 1)
+	pred := c.Config().Profile.IterDist(2).Mean()
+	fired := false
+	for i := 0; i < 10 && !fired; i++ {
+		fired = c.ObserveIteration(2, 0.4*pred, vclock.Time(i))
+	}
+	if !fired {
+		t.Fatal("detector never fired at 0.4x (speedup) drift")
+	}
+}
+
+func TestCooldownGatesTriggers(t *testing.T) {
+	c := newTestController(t, 1)
+	pred := c.Config().Profile.IterDist(4).Mean()
+	for i := 0; i < 5; i++ {
+		c.ObserveIteration(4, 2*pred, vclock.Time(i))
+	}
+	if _, err := c.Replan(State{Stage: 0, Now: 10, RemainingIters: 2, Plan: sim.NewPlan(4, 4, 4)}, ReasonDrift); err != nil {
+		t.Fatal(err)
+	}
+	if c.ObserveIteration(4, 2*pred, 30) {
+		t.Fatal("detector fired 20s after a replan; cooldown is 60s")
+	}
+	if c.PreemptionTrigger(30) {
+		t.Fatal("preemption trigger allowed during cooldown")
+	}
+	if !c.ObserveIteration(4, 2*pred, 80) {
+		t.Fatal("detector stayed quiet after the cooldown elapsed")
+	}
+	if !c.PreemptionTrigger(80) {
+		t.Fatal("preemption trigger blocked after the cooldown elapsed")
+	}
+}
+
+func TestReplanRejectsLastStage(t *testing.T) {
+	c := newTestController(t, 1)
+	if _, err := c.Replan(State{Stage: 2, Now: 0, Plan: sim.NewPlan(4, 4, 4)}, ReasonDrift); err == nil {
+		t.Fatal("Replan accepted the last stage")
+	}
+	if _, err := c.Replan(State{Stage: 0, Now: 0, Plan: sim.NewPlan(4, 4)}, ReasonDrift); err == nil {
+		t.Fatal("Replan accepted a plan not covering the spec")
+	}
+}
+
+// TestReplanPreservesPrefix checks splice semantics: a decision never
+// rewrites the executing stage or any stage before it.
+func TestReplanPreservesPrefix(t *testing.T) {
+	c := newTestController(t, 1)
+	pred := c.Config().Profile.IterDist(1).Mean()
+	for i := 0; i < 5; i++ {
+		c.ObserveIteration(1, 2*pred, vclock.Time(i))
+	}
+	d, err := c.Replan(State{Stage: 1, Now: 100, RemainingIters: 2, Plan: sim.NewPlan(8, 2, 2)}, ReasonDrift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NewPlan.Alloc[0] != 8 || d.NewPlan.Alloc[1] != 2 {
+		t.Fatalf("replan rewrote executed stages: %v", d.NewPlan)
+	}
+	if d.NewPlan.Max() > c.Config().MaxGPUs {
+		t.Fatalf("replanned peak %d exceeds cap %d", d.NewPlan.Max(), c.Config().MaxGPUs)
+	}
+	if !d.Adopted && !d.NewPlan.Equal(d.OldPlan) {
+		t.Fatalf("not adopted but plan changed: %v -> %v", d.OldPlan, d.NewPlan)
+	}
+}
+
+// TestReplanLostDeadlineInfeasible: when the remaining deadline is already
+// negative before the tail starts, the decision is infeasible and keeps
+// the stale plan without running the planner.
+func TestReplanLostDeadlineInfeasible(t *testing.T) {
+	c := newTestController(t, 1)
+	d, err := c.Replan(State{Stage: 0, Now: 1990, RemainingIters: 4, Plan: sim.NewPlan(4, 4, 4)}, ReasonPreemption)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Infeasible || d.Adopted {
+		t.Fatalf("lost deadline not classified infeasible: %+v", d)
+	}
+	if !d.NewPlan.Equal(d.OldPlan) {
+		t.Fatalf("infeasible decision changed the plan: %v -> %v", d.OldPlan, d.NewPlan)
+	}
+	if d.RemainingDeadline > 0 {
+		t.Fatalf("remaining deadline %v, want <= 0", d.RemainingDeadline)
+	}
+}
+
+// driveController feeds a fixed observation sequence and takes two replan
+// decisions; used to compare controllers across worker counts and replays.
+func driveController(t *testing.T, c *Controller) []Decision {
+	t.Helper()
+	pred1 := c.Config().Profile.IterDist(1).Mean()
+	pred4 := c.Config().Profile.IterDist(4).Mean()
+	for i := 0; i < 4; i++ {
+		c.ObserveIteration(4, 1.9*pred4, vclock.Time(10+i))
+	}
+	c.ObserveProvision(25)
+	if _, err := c.Replan(State{Stage: 0, Now: 30, RemainingIters: 3, Plan: sim.NewPlan(4, 4, 4)}, ReasonDrift); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.ObserveIteration(1, 2.2*pred1, vclock.Time(200+i))
+	}
+	if _, err := c.Replan(State{Stage: 1, Now: 300, RemainingIters: 2, Plan: c.Decisions()[0].NewPlan}, ReasonPreemption); err != nil {
+		t.Fatal(err)
+	}
+	return c.Decisions()
+}
+
+// TestDecisionsWorkerInvariant: the same observation sequence produces
+// bit-identical decisions at any replanning worker count.
+func TestDecisionsWorkerInvariant(t *testing.T) {
+	d1 := driveController(t, newTestController(t, 1))
+	d4 := driveController(t, newTestController(t, 4))
+	if !reflect.DeepEqual(d1, d4) {
+		t.Fatalf("decisions differ across worker counts:\n 1: %+v\n 4: %+v", d1, d4)
+	}
+}
+
+// TestDecisionsReplayable: re-driving a fresh controller reproduces the
+// exact decision sequence (same RNG seed, same observations).
+func TestDecisionsReplayable(t *testing.T) {
+	a := driveController(t, newTestController(t, 1))
+	b := driveController(t, newTestController(t, 1))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay diverged:\n first: %+v\n second: %+v", a, b)
+	}
+	if len(a) != 2 || a[0].Seq != 0 || a[1].Seq != 1 {
+		t.Fatalf("unexpected decision sequence: %+v", a)
+	}
+}

@@ -114,6 +114,32 @@ func (p Plan) Equal(q Plan) bool {
 	return true
 }
 
+// Suffix returns a copy of the plan's allocations for stages
+// from..Stages()-1, aligned with spec.ExperimentSpec.Suffix. It panics if
+// from is out of [0, Stages()).
+func (p Plan) Suffix(from int) Plan {
+	if from < 0 || from >= len(p.Alloc) {
+		panic(fmt.Sprintf("sim: plan suffix from stage %d of %d", from, len(p.Alloc)))
+	}
+	return Plan{Alloc: append([]int(nil), p.Alloc[from:]...)}
+}
+
+// Splice returns a copy of p whose allocations for stages
+// from..Stages()-1 are replaced by tail — the replanner's plan surgery:
+// executed and executing stages keep their allocations, only the future is
+// rewritten. It panics unless tail covers exactly the replaced stages.
+func (p Plan) Splice(from int, tail Plan) Plan {
+	if from < 0 || from > len(p.Alloc) {
+		panic(fmt.Sprintf("sim: splice at stage %d of %d", from, len(p.Alloc)))
+	}
+	if got, want := len(tail.Alloc), len(p.Alloc)-from; got != want {
+		panic(fmt.Sprintf("sim: splice tail covers %d stages, want %d", got, want))
+	}
+	out := p.Clone()
+	copy(out.Alloc[from:], tail.Alloc)
+	return out
+}
+
 // ParsePlan parses a comma-separated allocation list such as
 // "16, 10, 12, 4" into a Plan.
 func ParsePlan(s string) (Plan, error) {

@@ -58,6 +58,32 @@ func (p MeasuredTrainProfile) IterDist(gpus int) stats.Dist {
 	return stats.Normal{Mu: mean, Sigma: p.BaseStd / speedup}
 }
 
+// ScaledTrainProfile wraps a TrainProfile, multiplying every iteration
+// latency by Factor — the model of a uniform slowdown (Factor > 1) or
+// speedup (Factor < 1) relative to the profiled behaviour. The harness's
+// drifted-feasibility classifier and the replanner's synthetic-drift demos
+// plan against it. Deterministic and Normal base distributions scale in
+// closed form (multiplying a truncated normal's sample by a positive
+// factor equals sampling the scaled parameters), so scaled profiles stay
+// on the DAG compiler's inline opcodes; anything else falls back to
+// stats.Scaled.
+type ScaledTrainProfile struct {
+	Base   TrainProfile
+	Factor float64
+}
+
+// IterDist returns the base distribution at gpus with latency × Factor.
+func (p ScaledTrainProfile) IterDist(gpus int) stats.Dist {
+	switch v := p.Base.IterDist(gpus).(type) {
+	case stats.Deterministic:
+		return stats.Deterministic{Value: v.Value * p.Factor}
+	case stats.Normal:
+		return stats.Normal{Mu: v.Mu * p.Factor, Sigma: v.Sigma * p.Factor}
+	default:
+		return stats.Scaled{D: v, Factor: p.Factor}
+	}
+}
+
 // CloudProfile bundles the provider parameters the simulator prices a plan
 // against (§4.1).
 type CloudProfile struct {

@@ -84,6 +84,61 @@ func TestPlanHelpers(t *testing.T) {
 	}
 }
 
+func TestPlanSuffixSplice(t *testing.T) {
+	p := NewPlan(8, 4, 2, 1)
+	s := p.Suffix(2)
+	if !s.Equal(NewPlan(2, 1)) {
+		t.Errorf("Suffix(2) = %v", s)
+	}
+	s.Alloc[0] = 99
+	if p.Alloc[2] != 2 {
+		t.Error("Suffix shares storage")
+	}
+	q := p.Splice(2, NewPlan(16, 16))
+	if !q.Equal(NewPlan(8, 4, 16, 16)) {
+		t.Errorf("Splice = %v", q)
+	}
+	if !p.Equal(NewPlan(8, 4, 2, 1)) {
+		t.Error("Splice mutated the receiver")
+	}
+	if !p.Splice(0, NewPlan(1, 1, 1, 1)).Equal(NewPlan(1, 1, 1, 1)) {
+		t.Error("full-plan splice wrong")
+	}
+	for _, f := range []func(){
+		func() { p.Suffix(-1) },
+		func() { p.Suffix(4) },
+		func() { p.Splice(1, NewPlan(9)) },
+		func() { p.Splice(5, NewPlan()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range suffix/splice did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// normalProfile has a fixed Normal latency regardless of allocation.
+type normalProfile struct{ mu, sigma float64 }
+
+func (p normalProfile) IterDist(int) stats.Dist { return stats.Normal{Mu: p.mu, Sigma: p.sigma} }
+
+func TestScaledTrainProfile(t *testing.T) {
+	det := ScaledTrainProfile{Base: constProfile{10}, Factor: 2}
+	d, ok := det.IterDist(4).(stats.Deterministic)
+	if !ok || d.Value != 20 {
+		t.Errorf("scaled deterministic = %#v, want Deterministic{20}", det.IterDist(4))
+	}
+	norm := ScaledTrainProfile{Base: normalProfile{mu: 10, sigma: 2}, Factor: 3}
+	n, ok := norm.IterDist(1).(stats.Normal)
+	if !ok || n.Mu != 30 || n.Sigma != 6 {
+		t.Errorf("scaled normal = %#v, want Normal{30, 6}", norm.IterDist(1))
+	}
+}
+
 func TestPlanValidate(t *testing.T) {
 	if err := NewPlan(1, 2).Validate(3); err == nil {
 		t.Error("wrong stage count accepted")

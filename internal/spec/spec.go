@@ -92,6 +92,17 @@ func (s *ExperimentSpec) MaxIters() int {
 	return total
 }
 
+// Suffix returns the specification consisting of stages from..NumStages-1
+// — the remaining work an online replanner re-plans after the first `from`
+// stages have executed. The suffix of a valid spec is itself valid (trial
+// counts stay non-increasing). It panics if from is out of [0, NumStages).
+func (s *ExperimentSpec) Suffix(from int) *ExperimentSpec {
+	if from < 0 || from >= len(s.stages) {
+		panic(fmt.Sprintf("spec: suffix from stage %d of %d", from, len(s.stages)))
+	}
+	return &ExperimentSpec{stages: append([]Stage(nil), s.stages[from:]...)}
+}
+
 // Validate checks structural invariants: at least one stage, positive
 // trials and iterations, and a non-increasing trial count (early stopping
 // only ever terminates trials).

@@ -288,3 +288,33 @@ func TestQuickHyperbandInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSuffix(t *testing.T) {
+	s, err := New(Stage{Trials: 8, Iters: 2}, Stage{Trials: 4, Iters: 3}, Stage{Trials: 1, Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := s.Suffix(1)
+	if tail.NumStages() != 2 || tail.Stage(0) != (Stage{Trials: 4, Iters: 3}) || tail.Stage(1) != (Stage{Trials: 1, Iters: 5}) {
+		t.Fatalf("Suffix(1) = %v", tail)
+	}
+	if full := s.Suffix(0); full.NumStages() != 3 {
+		t.Fatalf("Suffix(0) = %v", full)
+	}
+	if err := s.Suffix(1).Validate(); err != nil {
+		t.Fatalf("suffix spec invalid: %v", err)
+	}
+	if s.NumStages() != 3 {
+		t.Fatal("Suffix mutated the receiver")
+	}
+	for _, from := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Suffix(%d) did not panic", from)
+				}
+			}()
+			s.Suffix(from)
+		}()
+	}
+}

@@ -29,6 +29,12 @@ const (
 	KindCheckpoint   Kind = "checkpoint"
 	KindRestore      Kind = "restore"
 	KindProfilePoint Kind = "profile_point"
+	// KindDriftTrigger marks the replan controller's drift detector firing
+	// (EWMA of observed-vs-predicted latency past its threshold, or a
+	// preemption-initiated trigger). KindReplan marks the resulting replan
+	// decision; its note carries the spliced plan and adoption outcome.
+	KindDriftTrigger Kind = "drift_trigger"
+	KindReplan       Kind = "replan"
 )
 
 // Event is one recorded occurrence.
