@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race test-replan vet lint bench bench-plan experiments examples repro fuzz-short clean
+.PHONY: all build test test-race test-replan test-recovery vet lint bench bench-plan experiments examples repro fuzz-short clean
 
 all: build vet lint test test-race
 
@@ -32,12 +32,24 @@ test-replan:
 	go test -race -count=1 ./internal/harness -run 'TestReplan|TestZeroDrift'
 	go test -race -count=1 ./internal/planner -run 'TestPriceScaling|TestDeadlineTightening|TestPlanInvariant'
 
+# Durability suite: the journal codec/backends, the exhaustive
+# crash-point sweep (kill + bit-identical recovery at every journal
+# offset, both backends), and the journaling-invisibility property test,
+# all under the race detector.
+test-recovery:
+	go test -race -count=1 ./internal/journal
+	go test -race -count=1 ./internal/harness -run 'TestCrashPointSweep|TestReplanScenarioJournals|TestSnapshotIntervalInvisible|TestCrashRecover|TestResumeRefuses'
+
 # Bounded chaos pass for CI: a fixed scenario batch through every
-# invariant oracle with replay, then 30s of native fuzzing per target.
-# A reported failure reproduces with `go run ./cmd/rbfuzz -seed S -index I`.
+# invariant oracle with replay and crash/recovery equivalence, then 30s
+# of native fuzzing per target. A reported failure reproduces with
+# `go run ./cmd/rbfuzz -seed S -index I`.
 fuzz-short:
 	go run ./cmd/rbfuzz -seed 1 -n 128
+	go run ./cmd/rbfuzz -seed 1 -n 32 -crash
 	go test ./internal/harness -run='^$$' -fuzz=FuzzEndToEnd -fuzztime=30s
+	go test ./internal/harness -run='^$$' -fuzz=FuzzRecover -fuzztime=30s
+	go test ./internal/journal -run='^$$' -fuzz=FuzzJournalRoundTrip -fuzztime=30s
 	go test ./internal/planner -run='^$$' -fuzz=FuzzPlanElastic -fuzztime=30s
 
 # Deterministic reproducibility harness (see tools/repro/run.sh for the

@@ -12,6 +12,7 @@
 //	rbfuzz -seed 1 -n 64 -workers 8
 //	rbfuzz -seed 1 -index 52 -v    # re-run one failing scenario verbosely
 //	rbfuzz -seed 1 -n 64 -replan on -drift-threshold 0.15
+//	rbfuzz -seed 1 -n 64 -crash    # add crash/recovery equivalence checks
 //
 // Everything derives from -seed: a failure printed by any run reproduces
 // bit-identically with `go run ./cmd/rbfuzz -seed S -index I`, at any
@@ -33,6 +34,7 @@ func main() {
 		index   = flag.Int("index", -1, "run only this scenario index (failure drill-down)")
 		workers = flag.Int("workers", 8, "scenario-level parallelism (results are identical at any width)")
 		replay  = flag.Bool("replay", true, "run every scenario twice and require bit-identical digests")
+		crash   = flag.Bool("crash", false, "kill each scenario's control plane at a seeded journal point and require bit-identical recovery")
 		verbose = flag.Bool("v", false, "print every scenario, not just failures")
 		rpl     = flag.String("replan", "auto", "online replanning controller: auto (per-scenario draw), on, or off")
 		drift   = flag.Float64("drift-threshold", 0, "override the replan controller's EWMA trigger threshold (0 = per-scenario draw)")
@@ -63,7 +65,7 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{Seed: *seed, Scenarios: *n, Workers: *workers, Replay: *replay, Mutate: mutate}
+	opts := harness.Options{Seed: *seed, Scenarios: *n, Workers: *workers, Replay: *replay, CrashCheck: *crash, Mutate: mutate}
 	var reports []harness.ScenarioReport
 	var batchDigest harness.Digest
 	if *index >= 0 {

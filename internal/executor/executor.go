@@ -235,6 +235,18 @@ func Start(cfg Config) (*Job, error) {
 // Done reports whether the job has completed (successfully or not).
 func (j *Job) Done() bool { return j.r.done || j.r.err != nil }
 
+// Stage returns the index of the stage currently executing (the final
+// stage after completion).
+func (j *Job) Stage() int { return j.r.stage }
+
+// CurrentPlan returns a clone of the live execution plan — the
+// configured plan with every adopted replan spliced in so far.
+func (j *Job) CurrentPlan() sim.Plan { return j.r.execPlan.Clone() }
+
+// Trials returns the job's trial objects in trial-ID order. Callers must
+// treat them as read-only; control-plane snapshots read their state.
+func (j *Job) Trials() []*trial.Trial { return j.r.trials }
+
 // Result returns the realized result once the job is done.
 func (j *Job) Result() (*Result, error) {
 	if j.r.err != nil {

@@ -20,6 +20,11 @@ type Options struct {
 	// Replay, when set, runs every scenario a second time and reports a
 	// digest mismatch as a determinism violation.
 	Replay bool
+	// CrashCheck, when set, runs the recovery-equivalence oracle on every
+	// scenario: a journaled run is killed at a seeded crash point, resumed
+	// from the surviving journal, and required to finish bit-identical to
+	// the uninterrupted run (digest and journal both).
+	CrashCheck bool
 	// Oracles overrides the oracle set (nil means DefaultOracles).
 	Oracles []Oracle
 	// Mutate, when non-nil, adjusts each generated scenario before it
@@ -129,6 +134,9 @@ func runOne(opts Options, oracles []Oracle, i int) ScenarioReport {
 				Detail: fmt.Sprintf("digest mismatch: first run %016x, replay %016x", uint64(out.Digest), uint64(d)),
 			})
 		}
+	}
+	if opts.CrashCheck {
+		out.Violations = append(out.Violations, checkRecovery(sc, out.Digest)...)
 	}
 	return out
 }

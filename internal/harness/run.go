@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/cluster"
 	"repro/internal/executor"
+	"repro/internal/journal"
 	"repro/internal/planner"
 	"repro/internal/replan"
 	"repro/internal/sim"
@@ -97,7 +98,15 @@ func (a *Artifacts) finishedAt() vclock.Time { return vclock.Time(a.Result.JCT) 
 // cluster manager on a fresh virtual clock, and drives the executor to
 // completion. Every random stream is derived from (BatchSeed, Index), so
 // repeated calls produce bit-identical artifacts.
-func RunScenario(sc Scenario) (*Artifacts, error) {
+func RunScenario(sc Scenario) (*Artifacts, error) { return runScenario(sc, nil) }
+
+// runScenario is RunScenario with an optional journal writer: when jw is
+// non-nil, every executor state transition and replan decision streams
+// through it (write-ahead), snapshots are captured at its interval, and
+// a crash or divergence latched by the writer aborts the run between
+// clock steps. Journaling draws no randomness and mutates no run state,
+// so a journaled run's artifacts are bit-identical to a plain run's.
+func runScenario(sc Scenario, jw *journal.Writer) (*Artifacts, error) {
 	root := scenarioRoot(sc.BatchSeed, sc.Index)
 
 	// Plan. The simulator gets its own stream; planning runs serially so
@@ -160,6 +169,22 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 		}
 	}
 
+	// Journal the run header before any state transition: the journal's
+	// first record pins the run's identity and the executed plan, so
+	// recovery can refuse a foreign journal before re-executing anything.
+	if jw != nil {
+		if err := jw.Record(&journal.Header{
+			BatchSeed: sc.BatchSeed,
+			Index:     int64(sc.Index),
+			Interval:  jw.Interval(),
+			Deadline:  deadline,
+			Planned:   a.Planned,
+			Alloc:     allocI64(a.Plan.Alloc),
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	// The replan controller only runs for planner-produced plans: the
 	// fallback plan is already the planner's declaration of infeasibility
 	// and there is no deadline budget to re-divide.
@@ -183,9 +208,13 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 		}
 	}
 
-	// Execute on a fresh substrate.
+	// Execute on a fresh substrate. The executor and provider RNG streams
+	// are held by name so control-plane snapshots can capture their
+	// cursors (Stream is pure: these are the same streams the run uses).
 	clock := vclock.New()
-	provider, err := cloud.NewProvider(clock, root.Stream(streamProvider),
+	execRNG := root.Stream(streamExecutor)
+	provRNG := root.Stream(streamProvider)
+	provider, err := cloud.NewProvider(clock, provRNG,
 		sc.Profile.Pricing, sc.Profile.Overheads, sc.Profile.DatasetGB)
 	if err != nil {
 		return nil, fmt.Errorf("harness: provider: %w", err)
@@ -198,7 +227,26 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 		return nil, fmt.Errorf("harness: cluster: %w", err)
 	}
 	rec := trace.New()
-	job, err := executor.Start(executor.Config{
+
+	// Journal wiring. Observers latch errors inside the writer; the step
+	// loop below polls jw.Err so a crash or divergence inside an event
+	// callback stops the run at the next step boundary (the moral
+	// equivalent of the process dying between scheduler events). The
+	// snapshot closure must be registered before executor.Start because
+	// Start already records events; it reads through the job pointer,
+	// which is nil for those first records in every run alike.
+	var job *executor.Job
+	if jw != nil {
+		if ctl != nil {
+			ctl.SetObserver(func(d replan.Decision) { jw.Observe(decisionRecord(d)) })
+		}
+		rec.SetObserver(func(e trace.Event) { jw.Observe(journal.FromTrace(e)) })
+		jw.SetSnapshotFunc(func() *journal.Snapshot {
+			return captureSnapshot(clock, job, provider, rec, ctl, execRNG, provRNG)
+		})
+	}
+
+	job, err = executor.Start(executor.Config{
 		Spec:             sc.Spec,
 		Plan:             a.Plan,
 		Model:            sc.Model,
@@ -207,7 +255,7 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 		Provider:         provider,
 		Cluster:          mgr,
 		Clock:            clock,
-		RNG:              root.Stream(streamExecutor),
+		RNG:              execRNG,
 		DisablePlacement: sc.DisablePlacement,
 		RestoreSeconds:   sc.RestoreSeconds,
 		Trace:            rec,
@@ -218,6 +266,11 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 		return nil, fmt.Errorf("harness: start: %w", err)
 	}
 	for !job.Done() {
+		if jw != nil {
+			if err := jw.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if a.Steps >= maxSteps {
 			return nil, errLivelock
 		}
@@ -229,6 +282,17 @@ func RunScenario(sc Scenario) (*Artifacts, error) {
 	res, err := job.Result()
 	if err != nil {
 		return nil, fmt.Errorf("harness: run: %w", err)
+	}
+	if jw != nil {
+		// Close the journal: an End record marks a completed (rather than
+		// crashed) run.
+		if err := jw.Record(&journal.End{
+			JCT:       res.JCT,
+			Cost:      res.Cost,
+			BestTrial: int64(res.BestTrial),
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	a.Result = res

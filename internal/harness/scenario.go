@@ -91,6 +91,7 @@ const (
 	streamExecutor
 	streamConfigs
 	streamReplan
+	streamCrash
 )
 
 // scenarioRoot returns the root RNG of scenario (seed, index). Stream is

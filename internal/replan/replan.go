@@ -233,6 +233,10 @@ type Controller struct {
 	armed      bool // a replan happened; cooldown applies
 	lastReplan vclock.Time
 	decisions  []Decision
+
+	// observer, when non-nil, receives every committed decision — the
+	// write-ahead journaling hook.
+	observer func(Decision)
 }
 
 // NewController validates the configuration and returns a fresh
@@ -251,6 +255,51 @@ func (c *Controller) Config() Config { return c.cfg }
 // Decisions returns the replan decisions taken so far, in order.
 func (c *Controller) Decisions() []Decision {
 	return append([]Decision(nil), c.decisions...)
+}
+
+// SetObserver registers fn to receive every subsequently committed
+// decision, synchronously and in decision order. The journal writer
+// subscribes here so replan decisions hit the write-ahead log with their
+// full payload (trace events only carry the rendered note).
+func (c *Controller) SetObserver(fn func(Decision)) { c.observer = fn }
+
+// AllocState is the drift detector's state for one per-trial allocation.
+type AllocState struct {
+	GPUs  int
+	EWMA  float64
+	Count int
+}
+
+// DetectorState is the controller's observable mutable state, captured
+// by control-plane snapshots: per-allocation EWMAs in ascending GPU
+// order, observation counters, the provisioning-overhead tracker, and
+// the cooldown cursor. Two controllers that processed the same
+// observation sequence report identical DetectorStates.
+type DetectorState struct {
+	Allocs        []AllocState
+	TotalObs      int
+	OverheadEWMA  float64
+	OverheadCount int
+	Armed         bool
+	LastReplan    vclock.Time
+	Decisions     int
+}
+
+// DetectorState snapshots the controller's mutable state.
+func (c *Controller) DetectorState() DetectorState {
+	ds := DetectorState{
+		TotalObs:      c.totalObs,
+		OverheadEWMA:  c.overheadEWMA,
+		OverheadCount: c.overheadCount,
+		Armed:         c.armed,
+		LastReplan:    c.lastReplan,
+		Decisions:     len(c.decisions),
+	}
+	for _, g := range c.keys {
+		st := c.stats[g]
+		ds.Allocs = append(ds.Allocs, AllocState{GPUs: g, EWMA: st.ewma, Count: st.count})
+	}
+	return ds
 }
 
 // cooldownOver reports whether a new decision is permitted at now.
@@ -452,4 +501,7 @@ func (c *Controller) commit(d Decision, now vclock.Time) {
 	c.decisions = append(c.decisions, d)
 	c.armed = true
 	c.lastReplan = now
+	if c.observer != nil {
+		c.observer(d)
+	}
 }

@@ -70,6 +70,13 @@ func (r *RNG) Stream(i uint64) *RNG {
 	return NewRNG(splitmix64(&h))
 }
 
+// State returns the generator's 256-bit internal state — the stream
+// cursor control-plane snapshots capture. Restoring a cursor is
+// deliberately not provided: recovery re-executes the run from its seed
+// and verifies the rebuilt cursor matches the snapshot, rather than
+// splicing generator state.
+func (r *RNG) State() [4]uint64 { return r.s }
+
 // Hash64 folds the given words into one well-distributed 64-bit value via
 // repeated splitmix64 rounds. Callers use it to derive Stream indices from
 // structured keys (for example a plan's allocation vector) so that every

@@ -59,17 +59,39 @@ type Recorder struct {
 	events []Event
 	// busyGPUSeconds accumulates task-occupied GPU time, for utilization.
 	busyGPUSeconds float64
+	// observer, when non-nil, receives every event as it is recorded —
+	// the write-ahead journaling hook.
+	observer func(Event)
 }
 
 // New returns an empty recorder.
 func New() *Recorder { return &Recorder{} }
+
+// SetObserver registers fn to receive every subsequently recorded event,
+// synchronously and in record order. The journal writer subscribes here
+// so executor state transitions hit the write-ahead log as they happen.
+// No-op on a nil recorder.
+func (r *Recorder) SetObserver(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.observer = fn
+}
+
+// add appends an event and notifies the observer.
+func (r *Recorder) add(e Event) {
+	r.events = append(r.events, e)
+	if r.observer != nil {
+		r.observer(e)
+	}
+}
 
 // Record appends an event. No-op on a nil recorder.
 func (r *Recorder) Record(at vclock.Time, kind Kind, stage, trial int, note string) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{At: at, Kind: kind, Stage: stage, Trial: trial, Note: note})
+	r.add(Event{At: at, Kind: kind, Stage: stage, Trial: trial, Note: note})
 }
 
 // RecordGang appends an event carrying a structured gang shape (total
@@ -79,7 +101,7 @@ func (r *Recorder) RecordGang(at vclock.Time, kind Kind, stage, trial, gpus, nod
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.add(Event{
 		At: at, Kind: kind, Stage: stage, Trial: trial,
 		Note: note, GPUs: gpus, Nodes: nodes,
 	})

@@ -106,6 +106,11 @@ func New() *Clock { return &Clock{} }
 // Now returns the current virtual time.
 func (c *Clock) Now() Time { return c.now }
 
+// Seq returns the number of events ever scheduled on the clock — its
+// scheduling cursor. Two identical runs have equal Seq at equal points,
+// so control-plane snapshots capture it as part of the clock state.
+func (c *Clock) Seq() uint64 { return c.seq }
+
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // (before Now) panics — it would mean causality violation in the simulation.
 func (c *Clock) At(at Time, fn func()) *Timer {

@@ -29,6 +29,10 @@ go test ./internal/sim -run "^(TestEstimateDeterministic|TestEstimateIndependent
 printf "\n== Planner determinism and memo cache ==\n"
 go test ./internal/planner -run "^(TestPlanDeterministicAcrossWorkers|TestPlanMinJCTDeterministicAcrossWorkers|TestMemoCache)" -count=1 -timeout=10m -v
 
+printf "\n== Durable journal: codec goldens, corruption handling, crash-point recovery ==\n"
+go test ./internal/journal -count=1 -timeout=10m
+go test ./internal/harness -run "^(TestCrashPointSweepMem|TestSnapshotIntervalInvisible|TestResumeRefusesForeignJournal)$" -count=1 -timeout=10m -v
+
 printf "\n== Race-detector pass over the concurrent packages ==\n"
 # -race needs cgo; everything else stays CGO_ENABLED=0.
 CGO_ENABLED=1 go test -race ./internal/sim ./internal/planner ./internal/stats ./internal/par -count=1 -timeout=20m
