@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race test-replan test-recovery vet lint bench bench-plan experiments examples repro fuzz-short clean
+.PHONY: all build test test-race test-replan test-recovery vet lint lint-fast bench bench-plan experiments examples repro fuzz-short clean
 
 all: build vet lint test test-race
 
@@ -10,10 +10,17 @@ build:
 vet:
 	go vet ./...
 
-# Project-specific static analysis: determinism and purity invariants of
-# the planning stack (see DESIGN.md "Determinism invariants").
-lint:
-	go run ./cmd/rbvet ./...
+# Static analysis, full suite: `go vet` plus rbvet's determinism and
+# purity invariants (see DESIGN.md "Static analysis"), including the
+# escape-analysis-backed noalloc gate. Diagnostics are also written to
+# rbvet.json for the CI artifact.
+lint: vet
+	go run ./cmd/rbvet -json rbvet.json ./...
+
+# lint-fast skips the compiler escape-analysis pass (and with it the
+# noalloc analyzer): type-checking only, for quick iteration.
+lint-fast:
+	go run ./cmd/rbvet -fast ./...
 
 test:
 	go test ./...

@@ -1,13 +1,18 @@
 // Package analysis is rbvet's static-analysis framework: it type-checks
 // the module with the standard library's go/parser + go/types and runs
 // project-specific analyzers that machine-check the determinism and
-// purity invariants of the planning stack (see DESIGN.md, "Determinism
-// invariants"). Violations are reported as file:line diagnostics;
-// deliberate exceptions are suppressed per line with
+// purity invariants of the planning stack (see DESIGN.md, "Static
+// analysis"). Intraprocedural analyzers inspect one package at a time;
+// the interprocedural suite (dettaint, purity, noalloc) runs over a
+// CHA-style call graph of every loaded package. Violations are reported
+// as file:line diagnostics; deliberate exceptions are suppressed per
+// line with
 //
 //	//rbvet:ignore <analyzer> — <reason>
 //
-// where the reason is mandatory.
+// where the reason is mandatory (stale ignores are themselves
+// diagnostics), or excused per function with //rbvet:impure(reason)
+// (see funcann.go).
 package analysis
 
 import (
@@ -19,7 +24,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant checker.
+// Analyzer is one named invariant checker. Intraprocedural analyzers set
+// Run and see one package at a time; interprocedural analyzers set
+// RunAll and see every loaded package at once, plus the call graph and
+// the function annotations.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore directives.
 	Name string
@@ -31,6 +39,9 @@ type Analyzer struct {
 	AppliesTo func(pkgPath string) bool
 	// Run inspects one package and reports violations on the pass.
 	Run func(*Pass)
+	// RunAll inspects the whole loaded package set at once. Analyzers
+	// with RunAll decide per report site whether a package is in scope.
+	RunAll func(*AllPass)
 }
 
 // Diagnostic is one reported violation.
@@ -66,8 +77,35 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All is the rbvet analyzer suite.
-var All = []*Analyzer{Maporder, Wallclock, Globalrand, Droppederr}
+// AllPass carries an interprocedural analyzer's view of the whole
+// loaded package set.
+type AllPass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+	Anns     map[*types.Func]*FuncAnn
+	// Escapes holds compiler escape-analysis facts for the noalloc
+	// analyzer; nil when the escape pass was skipped (rbvet -fast).
+	Escapes *EscapeFacts
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at an already-resolved position.
+func (p *AllPass) Reportf(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the rbvet analyzer suite. Fast is the subset that needs no
+// compiler escape-analysis pass (rbvet -fast / make lint-fast).
+var (
+	All  = []*Analyzer{Maporder, Wallclock, Globalrand, Droppederr, Dettaint, Purity, Noalloc, Staleignore}
+	Fast = []*Analyzer{Maporder, Wallclock, Globalrand, Droppederr, Dettaint, Purity, Staleignore}
+)
 
 // byName resolves analyzer names for directive validation.
 func byName(analyzers []*Analyzer) map[string]bool {
@@ -83,9 +121,11 @@ const ModulePath = "repro"
 
 // DeterministicCore lists the packages whose outputs must be pure
 // functions of their inputs: the Monte-Carlo simulator, the planners, the
-// placement controller, and everything they depend on for plan-affecting
-// state. Wall-clock reads here silently break run-to-run reproducibility
-// of JCT/cost estimates and allocation plans.
+// placement controller, the executor and replanning controller, the
+// chaos harness and journal (whose replay digests ARE the recovery and
+// determinism oracles), and everything they depend on for plan-affecting
+// state. A wall-clock, environment, or ad-hoc-RNG read here silently
+// breaks run-to-run reproducibility of estimates, plans, and digests.
 var DeterministicCore = []string{
 	ModulePath + "/internal/sim",
 	ModulePath + "/internal/planner",
@@ -93,6 +133,10 @@ var DeterministicCore = []string{
 	ModulePath + "/internal/dag",
 	ModulePath + "/internal/stats",
 	ModulePath + "/internal/executor",
+	ModulePath + "/internal/replan",
+	ModulePath + "/internal/harness",
+	ModulePath + "/internal/journal",
+	ModulePath + "/internal/vclock",
 }
 
 // basePath strips the external-test suffix so AppliesTo predicates see
@@ -115,15 +159,45 @@ func inDeterministicCore(path string) bool {
 	return false
 }
 
+// RunOption configures one Run invocation.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	escapes *EscapeFacts
+}
+
+// WithEscapes supplies compiler escape-analysis facts to the noalloc
+// analyzer (see LoadEscapes). Without them, noalloc reports annotated
+// functions as unverifiable.
+func WithEscapes(e *EscapeFacts) RunOption {
+	return func(c *runConfig) { c.escapes = e }
+}
+
 // Run executes the analyzers over the packages, applies ignore
 // directives, and returns the surviving diagnostics plus directive
-// problems, sorted by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	known := byName(analyzers)
+// problems — including stale-ignore reports for directives that
+// suppressed nothing — sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, opts ...RunOption) []Diagnostic {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// Every analyzer name is directive-addressable, whether or not it is
+	// in this run's set; staleness is only judged for analyzers that ran.
+	known := byName(All)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ran := byName(analyzers)
+
 	var diags []Diagnostic
 	var suppressions []directive
+	anns := make(map[*types.Func]*FuncAnn)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.AppliesTo != nil && !a.AppliesTo(basePath(pkg.Path)) {
 				continue
 			}
@@ -137,8 +211,29 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		dirs, problems := parseDirectives(pkg, known)
 		suppressions = append(suppressions, dirs...)
 		diags = append(diags, problems...)
+		pkgAnns, problems := parseFuncAnns(pkg)
+		for fn, ann := range pkgAnns {
+			anns[fn] = ann
+		}
+		diags = append(diags, problems...)
 	}
-	diags = applySuppressions(diags, suppressions)
+
+	if hasGraphAnalyzer(analyzers) {
+		graph := buildCallGraph(pkgs, anns)
+		for _, a := range analyzers {
+			if a.RunAll == nil {
+				continue
+			}
+			a.RunAll(&AllPass{
+				Analyzer: a, Pkgs: pkgs, Graph: graph, Anns: anns,
+				Escapes: cfg.escapes, diags: &diags,
+			})
+		}
+	}
+
+	var stale []Diagnostic
+	diags, stale = applySuppressionsChecked(diags, suppressions, ran)
+	diags = append(diags, stale...)
 	diags = dedupe(diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -154,6 +249,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags
+}
+
+// hasGraphAnalyzer reports whether any analyzer needs the call graph.
+func hasGraphAnalyzer(analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if a.RunAll != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // dedupe removes repeated diagnostics: nested map-range loops can flag

@@ -12,7 +12,9 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -64,54 +66,142 @@ func exportsFor(t *testing.T, imports map[string]bool) map[string]string {
 	return out
 }
 
-// loadFixture parses and type-checks one fixture directory.
-func loadFixture(t *testing.T, dir string) *Package {
-	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, e.Name())
-		}
-	}
-	if len(names) == 0 {
-		t.Fatalf("fixture %s has no Go files", dir)
-	}
-	fset := token.NewFileSet()
-	files, sources, err := parseDir(fset, dir, names)
-	if err != nil {
-		t.Fatalf("parsing fixture %s: %v", dir, err)
-	}
+// rawFixture is one parsed-but-unchecked fixture package.
+type rawFixture struct {
+	dir     string
+	path    string // pinned via //rbvet:pkgpath, else "fixture/<rel>"
+	files   []*ast.File
+	sources map[string][]byte
+	imports []string
+}
 
-	pkgPath := "fixture/" + filepath.Base(dir)
-	imports := make(map[string]bool)
-	for _, f := range files {
-		for _, imp := range f.Imports {
-			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
-				imports[p] = true
+// fixtureImporter resolves imports from already-checked fixture packages
+// first — so fixture packages can import EACH OTHER and share one type
+// universe — falling back to compiler export data for the rest.
+type fixtureImporter struct {
+	checked map[string]*types.Package
+	base    types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p := fi.checked[path]; p != nil {
+		return p, nil
+	}
+	return fi.base.Import(path)
+}
+
+// loadFixtureTree parses and type-checks a fixture directory TREE: the
+// root directory and every subdirectory holding Go files is one package.
+// Each package may pin its import path with //rbvet:pkgpath (how a
+// fixture lands inside — or deliberately outside — the deterministic
+// core); packages may import each other by pinned path, and are checked
+// in dependency order.
+func loadFixtureTree(t *testing.T, dir string) []*Package {
+	t.Helper()
+	var raws []*rawFixture
+	fset := token.NewFileSet()
+	stdlib := make(map[string]bool)
+
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
 			}
 		}
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if rest, ok := strings.CutPrefix(c.Text, "//rbvet:pkgpath "); ok {
-					pkgPath = strings.TrimSpace(rest)
+		if len(names) == 0 {
+			return nil
+		}
+		files, sources, err := parseDir(fset, p, names)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(filepath.Dir(dir), p)
+		raw := &rawFixture{dir: p, path: "fixture/" + filepath.ToSlash(rel), files: files, sources: sources}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				if ip, err := strconv.Unquote(imp.Path.Value); err == nil {
+					raw.imports = append(raw.imports, ip)
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if rest, ok := strings.CutPrefix(c.Text, "//rbvet:pkgpath "); ok {
+						raw.path = strings.TrimSpace(rest)
+					}
 				}
 			}
 		}
+		raws = append(raws, raw)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixture %s: %v", dir, err)
+	}
+	if len(raws) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
 	}
 
-	imp := newExportImporter(fset, exportsFor(t, imports))
-	tpkg, info, err := checkFiles(fset, pkgPath, files, imp)
-	if err != nil {
-		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	fixturePaths := make(map[string]bool, len(raws))
+	for _, r := range raws {
+		if fixturePaths[r.path] {
+			t.Fatalf("fixture %s: duplicate package path %s", dir, r.path)
+		}
+		fixturePaths[r.path] = true
 	}
-	return &Package{
-		Path: pkgPath, Dir: dir, Fset: fset,
-		Files: files, Types: tpkg, Info: info, Sources: sources,
+	for _, r := range raws {
+		for _, imp := range r.imports {
+			if !fixturePaths[imp] {
+				stdlib[imp] = true
+			}
+		}
 	}
+
+	// Check in dependency order: a package is ready when its
+	// fixture-internal imports are all checked.
+	fi := &fixtureImporter{checked: make(map[string]*types.Package)}
+	fi.base = newExportImporter(fset, exportsFor(t, stdlib))
+	var pkgs []*Package
+	pending := append([]*rawFixture(nil), raws...)
+	for len(pending) > 0 {
+		progressed := false
+		var next []*rawFixture
+		for _, r := range pending {
+			ready := true
+			for _, imp := range r.imports {
+				if fixturePaths[imp] && fi.checked[imp] == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, r)
+				continue
+			}
+			tpkg, info, err := checkFiles(fset, r.path, r.files, fi)
+			if err != nil {
+				t.Fatalf("type-checking fixture %s: %v", r.dir, err)
+			}
+			fi.checked[r.path] = tpkg
+			pkgs = append(pkgs, &Package{
+				Path: r.path, Dir: r.dir, Fset: fset,
+				Files: r.files, Types: tpkg, Info: info, Sources: r.sources,
+			})
+			progressed = true
+		}
+		if !progressed {
+			t.Fatalf("fixture %s: import cycle among fixture packages", dir)
+		}
+		pending = next
+	}
+	return pkgs
 }
 
 // Want patterns may be double-quoted (escaped) or backtick-quoted (raw,
@@ -144,13 +234,18 @@ func expectations(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
 	return wants
 }
 
-// runFixture checks the analyzers' diagnostics on one fixture against
-// its want comments.
-func runFixture(t *testing.T, analyzers []*Analyzer, dir string) {
+// runFixture checks the analyzers' diagnostics on one fixture tree
+// against its want comments, gathered from every package of the tree.
+func runFixture(t *testing.T, analyzers []*Analyzer, dir string, opts ...RunOption) {
 	t.Helper()
-	pkg := loadFixture(t, dir)
-	diags := Run([]*Package{pkg}, analyzers)
-	wants := expectations(t, pkg)
+	pkgs := loadFixtureTree(t, dir)
+	diags := Run(pkgs, analyzers, opts...)
+	wants := make(map[string][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for key, res := range expectations(t, pkg) {
+			wants[key] = append(wants[key], res...)
+		}
+	}
 
 	matched := make(map[string][]bool)
 	for key, res := range wants {
@@ -205,6 +300,45 @@ func testAnalyzerFixtures(t *testing.T, analyzers []*Analyzer, group string) {
 		dir := dir
 		t.Run(filepath.Base(dir), func(t *testing.T) { runFixture(t, analyzers, dir) })
 	}
+}
+
+// TestDettaintFixtures pins interprocedural taint flow: transitive
+// cross-package chains, //rbvet:impure barriers, and the source tables.
+func TestDettaintFixtures(t *testing.T) {
+	testAnalyzerFixtures(t, []*Analyzer{Dettaint}, "dettaint")
+}
+
+// TestCallgraphFixtures pins the resolution rules taint depends on:
+// interface CHA, function values in struct fields, and recursion.
+func TestCallgraphFixtures(t *testing.T) {
+	testAnalyzerFixtures(t, []*Analyzer{Dettaint}, "callgraph")
+}
+
+// TestPurityFixtures pins the effect lattice: refuted claims (global
+// writes, channels, goroutines), pure-modulo-arguments acceptance, and
+// the memoization registry.
+func TestPurityFixtures(t *testing.T) {
+	testAnalyzerFixtures(t, []*Analyzer{Purity}, "purity")
+}
+
+// TestNoallocFixtures runs the REAL escape-analysis pipeline on the hot
+// fixture — its pinned path is its true import path, so `go build
+// -gcflags=-m` diagnostics line up with the fixture's positions.
+func TestNoallocFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go build")
+	}
+	escapes, err := LoadEscapes(".", []string{"./testdata/src/noalloc/hot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFixture(t, []*Analyzer{Noalloc}, filepath.Join("testdata", "src", "noalloc", "hot"), WithEscapes(escapes))
+}
+
+// TestNoallocUnverified checks the fail-loud paths: no escape data
+// (rbvet -fast) and test-file hot paths are diagnostics, not silence.
+func TestNoallocUnverified(t *testing.T) {
+	runFixture(t, []*Analyzer{Noalloc}, filepath.Join("testdata", "src", "noalloc", "unverified"))
 }
 
 func TestMaporderFixtures(t *testing.T) { testAnalyzerFixtures(t, []*Analyzer{Maporder}, "maporder") }

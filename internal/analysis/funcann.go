@@ -1,0 +1,180 @@
+// Function-level rbvet annotations. Where //rbvet:ignore suppresses one
+// analyzer on one line, these directives make claims about (or grant
+// escapes to) a whole function, and attach to its declaration's doc
+// comment:
+//
+//	//rbvet:pure            — claim: the function is pure modulo its
+//	                          arguments. The purity analyzer PROVES the
+//	                          claim; an unprovable claim is a diagnostic.
+//	//rbvet:impure(reason)  — escape: the function is impure by design,
+//	                          and the reason explains why that is safe.
+//	                          Taint and effect propagation stop here; the
+//	                          human judgment in the reason is trusted.
+//	//rbvet:noalloc         — claim: the function's body performs no heap
+//	                          allocation. The noalloc analyzer verifies it
+//	                          against the compiler's escape analysis.
+//
+// A function may be both pure and noalloc; pure and impure together are
+// contradictory and flagged. Any other //rbvet: directive word is a
+// diagnostic, so typos cannot silently grant an escape.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FuncAnn is the parsed annotation set of one function declaration.
+type FuncAnn struct {
+	Pure         bool
+	Impure       bool
+	ImpureReason string
+	Noalloc      bool
+	// Pos is the function declaration's position, for diagnostics about
+	// the annotated function.
+	Pos token.Position
+}
+
+// funcDirectives are the rbvet directives that attach to function
+// declarations; every other directive word seen in source must be one of
+// otherDirectives.
+var funcDirectives = map[string]bool{"pure": true, "impure": true, "noalloc": true}
+
+// otherDirectives are the non-function rbvet directives handled
+// elsewhere: per-line ignores (ignore.go) and the fixture package-path
+// pin (load.go).
+var otherDirectives = map[string]bool{"ignore": true, "pkgpath": true}
+
+const rbvetPrefix = "//rbvet:"
+
+// parseFuncAnns extracts function annotations from one package.
+// Malformed directives — unknown words, a reasonless impure, arguments
+// on pure/noalloc, contradictory pure+impure, or a function directive
+// not attached to a function declaration — are returned as diagnostics
+// under the "rbvet" name.
+func parseFuncAnns(pkg *Package) (map[*types.Func]*FuncAnn, []Diagnostic) {
+	anns := make(map[*types.Func]*FuncAnn)
+	var problems []Diagnostic
+	report := func(pos token.Position, msg string) {
+		problems = append(problems, Diagnostic{Pos: pos, Analyzer: "rbvet", Message: msg})
+	}
+
+	// docComments maps a comment group to the function it documents.
+	docOf := make(map[*ast.CommentGroup]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docOf[fd.Doc] = fd
+			}
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, rbvetPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				word, arg, argErr := splitFuncDirective(rest)
+				switch {
+				case otherDirectives[word]:
+					continue
+				case !funcDirectives[word]:
+					report(pos, "unknown rbvet directive "+quoteName(word)+" (want pure, impure(reason), noalloc, or ignore)")
+					continue
+				case argErr != "":
+					report(pos, argErr)
+					continue
+				}
+				fd := docOf[cg]
+				if fd == nil {
+					report(pos, "//rbvet:"+word+" must be in the doc comment of a function declaration")
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				ann := anns[obj]
+				if ann == nil {
+					ann = &FuncAnn{Pos: pkg.Fset.Position(fd.Pos())}
+					anns[obj] = ann
+				}
+				switch word {
+				case "pure":
+					ann.Pure = true
+				case "impure":
+					ann.Impure = true
+					ann.ImpureReason = arg
+				case "noalloc":
+					ann.Noalloc = true
+				}
+				if ann.Pure && ann.Impure {
+					report(pos, "function "+quoteName(funcName(obj))+" is annotated both //rbvet:pure and //rbvet:impure — pick one")
+				}
+			}
+		}
+	}
+	return anns, problems
+}
+
+// splitFuncDirective splits the text after "//rbvet:" into the directive
+// word and its parenthesized argument. It validates arity: impure
+// requires a non-empty (reason); pure and noalloc take none.
+func splitFuncDirective(rest string) (word, arg, errMsg string) {
+	word = rest
+	if i := strings.IndexAny(rest, " \t("); i >= 0 {
+		word = rest[:i]
+		if rest[i] == '(' {
+			tail := rest[i+1:]
+			j := strings.LastIndexByte(tail, ')')
+			if j < 0 {
+				return word, "", "//rbvet:" + word + " has an unclosed argument (want //rbvet:" + word + "(reason))"
+			}
+			arg = strings.TrimSpace(tail[:j])
+		} else if funcDirectives[word] && strings.TrimSpace(rest[i:]) != "" {
+			// Trailing prose after the bare word is tolerated only for
+			// ignore-style directives; function directives are exact.
+			return word, "", "//rbvet:" + word + " takes no trailing text" + impureHint(word)
+		}
+	}
+	if !funcDirectives[word] {
+		return word, arg, ""
+	}
+	switch word {
+	case "impure":
+		if arg == "" {
+			return word, arg, "//rbvet:impure needs a reason: //rbvet:impure(<why this impurity is contained>)"
+		}
+	default:
+		if arg != "" {
+			return word, arg, "//rbvet:" + word + " takes no argument"
+		}
+	}
+	return word, arg, ""
+}
+
+func impureHint(word string) string {
+	if word == "impure" {
+		return " (want //rbvet:impure(reason))"
+	}
+	return ""
+}
+
+// funcName renders a function object for diagnostics: methods as
+// (recv).Name, package functions as pkg.Name.
+func funcName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return p.Name() })
+		return "(" + t + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

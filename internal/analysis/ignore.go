@@ -22,6 +22,7 @@ type directive struct {
 	line     int // the source line the directive suppresses
 	analyzer string
 	reason   string
+	pos      token.Position // the directive's own position, for staleness reports
 }
 
 // parseDirectives extracts the ignore directives from a package's
@@ -57,7 +58,7 @@ func parseDirectives(pkg *Package, known map[string]bool) ([]directive, []Diagno
 				if standalone(pkg.Sources[pos.Filename], pos) {
 					line++
 				}
-				dirs = append(dirs, directive{file: pos.Filename, line: line, analyzer: name, reason: reason})
+				dirs = append(dirs, directive{file: pos.Filename, line: line, analyzer: name, reason: reason, pos: pos})
 			}
 		}
 	}
@@ -96,27 +97,58 @@ func standalone(src []byte, pos token.Position) bool {
 	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
 }
 
-// applySuppressions drops diagnostics covered by a directive.
-func applySuppressions(diags []Diagnostic, dirs []directive) []Diagnostic {
-	if len(dirs) == 0 {
-		return diags
-	}
+// Staleignore reports ignore directives that suppress nothing. An
+// ignore that outlives the diagnostic it excused is a false promise: it
+// documents an exception that no longer exists and would silently
+// excuse a future, unrelated violation on its line. It has no Run —
+// staleness falls out of suppression accounting in Run — but
+// registering it makes the check addressable and listable. A directive
+// is judged only when its named analyzer was part of the run (rbvet
+// -fast must not call noalloc ignores stale).
+var Staleignore = &Analyzer{
+	Name: "staleignore",
+	Doc:  "report //rbvet:ignore directives that no longer suppress any diagnostic",
+}
+
+// applySuppressionsChecked drops diagnostics covered by a directive and
+// reports directives that covered nothing. Stale-ignore reports are not
+// themselves suppressible: a self-excusing suppression record would be
+// no record at all.
+func applySuppressionsChecked(diags []Diagnostic, dirs []directive, ran map[string]bool) (kept, stale []Diagnostic) {
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	suppressed := make(map[key]bool, len(dirs))
+	used := make(map[key]int, len(dirs))
 	for _, d := range dirs {
-		suppressed[key{d.file, d.line, d.analyzer}] = true
+		used[key{d.file, d.line, d.analyzer}] = 0
 	}
-	kept := diags[:0]
+	kept = diags[:0]
 	for _, d := range diags {
-		if !suppressed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
-			kept = append(kept, d)
+		k := key{d.Pos.Filename, d.Pos.Line, d.Analyzer}
+		if n, ok := used[k]; ok {
+			used[k] = n + 1
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if !ran[Staleignore.Name] {
+		return kept, nil
+	}
+	for _, d := range dirs {
+		if !ran[d.analyzer] {
+			continue
+		}
+		if used[key{d.file, d.line, d.analyzer}] == 0 {
+			stale = append(stale, Diagnostic{
+				Pos:      token.Position{Filename: d.file, Line: d.pos.Line, Column: d.pos.Column},
+				Analyzer: Staleignore.Name,
+				Message:  "//rbvet:ignore " + d.analyzer + " suppresses no diagnostic — delete it",
+			})
 		}
 	}
-	return kept
+	return kept, stale
 }
 
 // quoteName quotes a name for a diagnostic message.

@@ -46,7 +46,7 @@ func TestApplySuppressionsExactness(t *testing.T) {
 		diag("b.go", 10, "maporder"),   // same line number, other file
 	}
 	dirs := []directive{{file: "a.go", line: 10, analyzer: "maporder", reason: "r"}}
-	got := applySuppressions(append([]Diagnostic(nil), diags...), dirs)
+	got, stale := applySuppressionsChecked(append([]Diagnostic(nil), diags...), dirs, byName(All))
 	if len(got) != 3 {
 		t.Fatalf("suppressed %d diagnostics, want exactly 1 (got %v)", len(diags)-len(got), got)
 	}
@@ -54,5 +54,28 @@ func TestApplySuppressionsExactness(t *testing.T) {
 		if d.Pos.Filename == "a.go" && d.Pos.Line == 10 && d.Analyzer == "maporder" {
 			t.Fatalf("targeted diagnostic survived: %v", d)
 		}
+	}
+	if len(stale) != 0 {
+		t.Fatalf("live directive reported stale: %v", stale)
+	}
+}
+
+func TestStaleIgnoreReported(t *testing.T) {
+	dirs := []directive{
+		{file: "a.go", line: 10, analyzer: "maporder", reason: "dead"},
+		{file: "a.go", line: 20, analyzer: "noalloc", reason: "not judged: noalloc did not run"},
+	}
+	ran := map[string]bool{"maporder": true, Staleignore.Name: true}
+	got, stale := applySuppressionsChecked(nil, dirs, ran)
+	if len(got) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", got)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != Staleignore.Name {
+		t.Fatalf("want exactly the maporder directive reported stale, got %v", stale)
+	}
+	// Without staleignore in the run set, nothing is judged.
+	_, stale = applySuppressionsChecked(nil, dirs, map[string]bool{"maporder": true})
+	if len(stale) != 0 {
+		t.Fatalf("staleness judged without staleignore in the run set: %v", stale)
 	}
 }

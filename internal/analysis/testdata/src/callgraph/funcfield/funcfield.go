@@ -1,0 +1,36 @@
+//rbvet:pkgpath repro/internal/sim
+
+// Calls through function values stored in struct fields (the
+// sim.WithEstimator pattern) resolve to every address-taken function
+// with an identical signature.
+package funcfield
+
+import "os"
+
+type Simulator struct {
+	estimate func(int) int
+}
+
+func WithEstimator(fn func(int) int) *Simulator {
+	return &Simulator{estimate: fn}
+}
+
+func envCost(x int) int {
+	return x + len(os.Getenv("RB_COST")) // want `\[dettaint\] call to os\.Getenv is a determinism taint source \(environment read\)`
+}
+
+func doubleCost(x int) int { return 2 * x }
+
+func Build() *Simulator {
+	return WithEstimator(envCost)
+}
+
+// BuildClean takes doubleCost's address too: a clean candidate in the
+// address-taken set adds no diagnostic of its own.
+func BuildClean() *Simulator {
+	return WithEstimator(doubleCost)
+}
+
+func (s *Simulator) Run(x int) int {
+	return s.estimate(x) // want `\[dettaint\] call to funcfield\.envCost reaches a determinism taint source \(environment read\)`
+}

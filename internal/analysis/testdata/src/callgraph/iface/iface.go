@@ -1,0 +1,31 @@
+//rbvet:pkgpath repro/internal/planner
+
+// Interface calls resolve CHA-style to every loaded implementation: the
+// call through Estimator reaches envEstimator.Est's os.Getenv even
+// though the concrete type is unknowable statically.
+package iface
+
+import "os"
+
+type Estimator interface {
+	Est() int
+}
+
+type fixedEstimator struct{ v int }
+
+func (f fixedEstimator) Est() int { return f.v }
+
+type envEstimator struct{}
+
+func (envEstimator) Est() int {
+	return len(os.Getenv("RB_EST")) // want `\[dettaint\] call to os\.Getenv is a determinism taint source \(environment read\)`
+}
+
+func Evaluate(e Estimator) int {
+	return e.Est() // want `\[dettaint\] call to iface\.envEstimator\.Est reaches a determinism taint source \(environment read\)`
+}
+
+// onlyClean calls the clean implementation directly; no diagnostic.
+func onlyClean() int {
+	return fixedEstimator{v: 3}.Est()
+}

@@ -1,0 +1,40 @@
+//rbvet:pkgpath repro/internal/replan
+
+// Mutual recursion: the taint fixed point must terminate on cycles, and
+// taint entering a cycle anywhere must reach every member.
+package recursion
+
+import "os"
+
+func ping(n int) int {
+	if n <= 0 {
+		return len(os.Getenv("RB_BASE")) // want `\[dettaint\] call to os\.Getenv is a determinism taint source \(environment read\)`
+	}
+	return pong(n - 1) // want `\[dettaint\] call to recursion\.pong reaches a determinism taint source \(environment read\)`
+}
+
+func pong(n int) int {
+	return ping(n - 1) // want `\[dettaint\] call to recursion\.ping reaches a determinism taint source \(environment read\)`
+}
+
+// even/odd form a clean cycle: termination without taint.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func Run(n int) int {
+	if even(n) {
+		return ping(n) // want `\[dettaint\] call to recursion\.ping reaches a determinism taint source \(environment read\)`
+	}
+	return 0
+}

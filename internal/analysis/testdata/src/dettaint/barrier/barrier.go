@@ -1,0 +1,27 @@
+//rbvet:pkgpath repro/internal/planner
+
+// //rbvet:impure(reason) is a per-function barrier: the annotated
+// function is excused and its taint does not reach callers. The
+// unannotated twin next to it keeps reporting.
+package barrier
+
+import "os"
+
+// jitter is impure by design; the reviewed reason is trusted.
+//
+//rbvet:impure(host name only labels log output; it never reaches a plan)
+func jitter() string {
+	h, _ := os.Hostname()
+	return h
+}
+
+func leak() string {
+	h, _ := os.Hostname() // want `\[dettaint\] call to os\.Hostname is a determinism taint source \(host identity\)`
+	return h
+}
+
+func Plan() string {
+	a := jitter()
+	b := leak() // want `\[dettaint\] call to barrier\.leak reaches a determinism taint source \(host identity\)`
+	return a + b
+}

@@ -1,0 +1,24 @@
+//rbvet:pkgpath repro/internal/executor
+
+// Direct source calls in the core: environment and RNG reads are
+// dettaint's to report; time.Now/Since/Sleep stay with the per-line
+// wallclock analyzer (no double diagnostics).
+package envrand
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Configure() string {
+	return os.Getenv("RB_MODE") // want `\[dettaint\] call to os\.Getenv is a determinism taint source \(environment read\)`
+}
+
+func Shuffle() int {
+	return rand.Int() // want `\[dettaint\] call to rand\.Int is a determinism taint source \(global/ad-hoc RNG`
+}
+
+func Wall() time.Time {
+	return time.Now() // the wallclock analyzer owns direct calls; no dettaint diagnostic
+}

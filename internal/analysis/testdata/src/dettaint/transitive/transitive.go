@@ -1,0 +1,22 @@
+//rbvet:pkgpath repro/internal/sim
+
+// A core package calling a helper that transitively — across a package
+// boundary, two frames deep — reaches time.Now. The per-line wallclock
+// analyzer cannot see this; dettaint must.
+package transitive
+
+import "repro/internal/util"
+
+func Seed() int64 {
+	return util.Stamp() // want `\[dettaint\] call to util\.Stamp reaches a determinism taint source \(wall clock\): util\.Stamp → util\.now → time\.Now`
+}
+
+func Clean(x int) int {
+	return util.Pure(x)
+}
+
+// inPackage taints through a same-package helper chain: every core call
+// site of a tainted function reports, not just the first hop.
+func inPackage() int64 {
+	return Seed() // want `\[dettaint\] call to transitive\.Seed reaches a determinism taint source \(wall clock\): transitive\.Seed → util\.Stamp → util\.now → time\.Now`
+}

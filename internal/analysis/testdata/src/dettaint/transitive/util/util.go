@@ -1,0 +1,16 @@
+//rbvet:pkgpath repro/internal/util
+
+// Package util lives OUTSIDE the deterministic core: its own wall-clock
+// read is not a diagnostic here, but the taint must follow it into any
+// core caller.
+package util
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+// Stamp is two hops from time.Now.
+func Stamp() int64 { return now().UnixNano() }
+
+// Pure has no taint; a core caller of Pure stays clean.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,46 @@
+//rbvet:pkgpath repro/internal/analysis/testdata/src/noalloc/hot
+
+// Checked against REAL compiler escape analysis (the fixture's pinned
+// path is its true import path, so `go build -gcflags=-m` output lines
+// match): a clean hot loop passes, an escaping make is a diagnostic at
+// the allocation site, and a deliberate cold-path allocation is excused
+// per line.
+package hot
+
+// Sum allocates nothing; the claim verifies.
+//
+//rbvet:noalloc
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Grow returns fresh heap memory; the claim fails at the make.
+//
+//rbvet:noalloc
+func Grow(n int) []int {
+	buf := make([]int, n) // want `\[noalloc\] heap allocation in //rbvet:noalloc hot\.Grow: make\(\[\]int, n\) escapes to heap`
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}
+
+// FillInto reuses the caller's buffer on the hot path; the first-call
+// growth is excused with a reasoned per-line ignore.
+//
+//rbvet:noalloc
+func FillInto(buf []int, n int) []int {
+	if cap(buf) < n {
+		//rbvet:ignore noalloc — cold path: runs once per buffer size; steady state reuses buf
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = i * i
+	}
+	return buf
+}

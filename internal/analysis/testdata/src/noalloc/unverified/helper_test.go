@@ -1,0 +1,9 @@
+package unverified
+
+// Test files are never compiled by `go build`, so a noalloc claim in one
+// is unverifiable by construction.
+
+//rbvet:noalloc
+func fastHelper(x int) int { // want "\\[noalloc\\] //rbvet:noalloc on unverified\\.fastHelper cannot be verified: `go build` does not compile test files"
+	return x + 1
+}

@@ -1,0 +1,8 @@
+// The gate fails loudly, not vacuously: with no escape-analysis data
+// (rbvet -fast) an annotated function is reported unverified.
+package unverified
+
+//rbvet:noalloc
+func Fast(x int) int { // want `\[noalloc\] //rbvet:noalloc on unverified\.Fast not verified: no escape-analysis data \(run rbvet without -fast\)`
+	return x * x
+}

@@ -1,0 +1,29 @@
+//rbvet:pkgpath repro/internal/planner
+
+// Channel use and goroutine spawning each refute a purity claim; one
+// function collecting both gets one diagnostic per effect.
+package chango
+
+//rbvet:pure
+func FanOut(xs []int) int { // want `\[purity\] chango\.FanOut is annotated //rbvet:pure but uses channels/select` `\[purity\] chango\.FanOut is annotated //rbvet:pure but spawns goroutines`
+	ch := make(chan int)
+	go func() {
+		t := 0
+		for _, x := range xs {
+			t += x
+		}
+		ch <- t
+	}()
+	return <-ch
+}
+
+// Serial does the same reduction without concurrency; provably pure.
+//
+//rbvet:pure
+func Serial(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

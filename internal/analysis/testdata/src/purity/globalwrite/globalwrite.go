@@ -1,0 +1,28 @@
+//rbvet:pkgpath repro/internal/sim
+
+// A //rbvet:pure claim refuted by a package-level write — directly, and
+// through a helper two frames down (the chain names the origin).
+package globalwrite
+
+var hits int
+
+//rbvet:pure
+func Bump() int { // want `\[purity\] globalwrite\.Bump is annotated //rbvet:pure but writes package-level state: writes globalwrite\.hits`
+	hits++
+	return hits
+}
+
+func record() { hits = hits + 1 }
+
+func helper() { record() }
+
+//rbvet:pure
+func Indirect() int { // want `\[purity\] globalwrite\.Indirect is annotated //rbvet:pure but writes package-level state \(globalwrite\.Indirect → globalwrite\.helper → globalwrite\.record: writes globalwrite\.hits\)`
+	helper()
+	return hits
+}
+
+// Reader only reads the global; reads are pure.
+//
+//rbvet:pure
+func Reader() int { return hits }

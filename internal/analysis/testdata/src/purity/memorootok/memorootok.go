@@ -1,0 +1,14 @@
+//rbvet:pkgpath repro/internal/sim
+
+// The registered root with its claim in place and a provably pure body:
+// no diagnostic.
+package memorootok
+
+type Simulator struct {
+	segs map[string]int
+}
+
+//rbvet:pure
+func (s *Simulator) buildSegment(key string) int {
+	return len(key) * 2
+}

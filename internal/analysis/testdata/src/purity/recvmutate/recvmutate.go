@@ -1,0 +1,41 @@
+//rbvet:pkgpath repro/internal/sim
+
+// Pure modulo arguments: receiver and argument mutation are compatible
+// with //rbvet:pure (the memoization contract), while an aliased global
+// write is not.
+package recvmutate
+
+import "sort"
+
+type Cache struct {
+	vals []float64
+	n    int
+}
+
+// Fill mutates its receiver and its argument slice: the result is still
+// a function of the arguments, so the claim holds.
+//
+//rbvet:pure
+func (c *Cache) Fill(buf []float64) []float64 {
+	c.n++
+	for i := range buf {
+		buf[i] = float64(i) * 0.5
+	}
+	c.vals = buf
+	return buf
+}
+
+// Sorted uses a whitelisted external package (sort); still pure.
+//
+//rbvet:pure
+func Sorted(xs []float64) []float64 {
+	sort.Float64s(xs)
+	return xs
+}
+
+var shared = &Cache{}
+
+//rbvet:pure
+func Leak() { // want `\[purity\] recvmutate\.Leak is annotated //rbvet:pure but writes package-level state: writes recvmutate\.shared`
+	shared = &Cache{n: 1}
+}

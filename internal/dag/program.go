@@ -144,11 +144,15 @@ func (p *Program) Sample(r *stats.RNG) ([]Timing, float64) {
 // Latency opcodes consume RNG draws exactly as the distributions they
 // encode, so for a full-graph Program the result is bit-identical to
 // Graph.SampleInto with the same generator.
+//
+//rbvet:pure
+//rbvet:noalloc
 func (p *Program) SampleInto(r *stats.RNG, buf []Timing) ([]Timing, float64) {
 	var timings []Timing
 	if cap(buf) >= p.n {
 		timings = buf[:p.n]
 	} else {
+		//rbvet:ignore noalloc — cold path: runs once per buffer size; steady-state calls reuse buf
 		timings = make([]Timing, p.n)
 	}
 	var makespan float64

@@ -19,6 +19,8 @@ import (
 
 // Workers resolves a worker-count knob: n > 0 is used as given, anything
 // else selects runtime.GOMAXPROCS(0).
+//
+//rbvet:impure(GOMAXPROCS only picks the worker count; the index-addressed contract makes results bit-identical at any count)
 func Workers(n int) int {
 	if n > 0 {
 		return n
@@ -33,6 +35,8 @@ func Workers(n int) int {
 // promises nothing about order or goroutine assignment; callers that need
 // a deterministic result must write into index-addressed storage and
 // reduce in fixed index order after ForEach returns.
+//
+//rbvet:impure(goroutine fan-out; each index runs exactly once and results are index-addressed, so scheduling order cannot leak)
 func ForEach(n, workers int, fn func(int)) {
 	ForEachWorker(n, workers, func(_, i int) { fn(i) })
 }
@@ -44,6 +48,8 @@ func ForEach(n, workers int, fn func(int)) {
 // can give each slot a private scratch buffer and reuse it across the
 // indices that slot happens to process. Slot assignment is
 // scheduling-dependent; nothing deterministic may be derived from it.
+//
+//rbvet:impure(goroutine fan-out; slots only address scratch storage and every reduction happens in fixed index order afterwards)
 func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return

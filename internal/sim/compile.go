@@ -66,6 +66,8 @@ type segSample struct {
 
 // eval draws one execution of the segment, reusing buf as scratch, and
 // condenses it to its segSample.
+//
+//rbvet:pure
 func (sg *segment) eval(r *stats.RNG, buf []dag.Timing) (segSample, []dag.Timing) {
 	timings, dur := sg.prog.SampleInto(r, buf)
 	out := segSample{dur: dur}
@@ -137,6 +139,8 @@ func (s *Simulator) segmentFor(key segKey) *segment {
 // buildSegment constructs one stage's zero-based sub-DAG — mirroring the
 // stage structure of build, with the previous stage's SYNC barrier as the
 // implicit time-zero source — and compiles it to a flat program.
+//
+//rbvet:pure
 func (s *Simulator) buildSegment(key segKey) *segment {
 	st := s.spec.Stage(key.stage)
 	gpn := s.cloud.Instance.GPUs
@@ -287,6 +291,8 @@ func (s *Simulator) sampleVectors(cp *compiledPlan, p Plan) [][]segSample {
 // per-function billing sums training GPU-seconds. It returns the
 // recombined JCT and total cost including data ingress. births is a
 // reusable scratch buffer, returned (emptied) for the next call.
+//
+//rbvet:noalloc
 func (s *Simulator) priceSchedule(cp *compiledPlan, vecs [][]segSample, k int, births []float64) (jct, cost float64, _ []float64) {
 	pr := s.cloud.Pricing
 	cost = float64(cp.maxInstances) * pr.DataIngressCost(s.cloud.DatasetGB)

@@ -211,6 +211,8 @@ func TestCriticalPathKindsDeterministic(t *testing.T) {
 // TestEstimateHeavyRepeatability is the gated heavy check run by
 // tools/repro/run.sh: large sample counts, high worker counts, many
 // repetitions, all bit-identical.
+//
+//rbvet:impure(the env var only gates whether the heavy check runs at all; it never reaches a simulated value)
 func TestEstimateHeavyRepeatability(t *testing.T) {
 	if os.Getenv("RB_RUN_REPEATABILITY") == "" {
 		t.Skip("set RB_RUN_REPEATABILITY=1 to run the heavy repeatability check")

@@ -93,6 +93,8 @@ func (p Plan) String() string {
 // big-endian 32-bit word, so two plans share a Key iff they are Equal
 // (the length distinguishes stage counts). Unlike String it performs no
 // formatting and its size is exactly 4 bytes per stage.
+//
+//rbvet:pure
 func (p Plan) Key() string {
 	b := make([]byte, 4*len(p.Alloc))
 	for i, a := range p.Alloc {

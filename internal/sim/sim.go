@@ -252,6 +252,8 @@ func (s *Simulator) build(p Plan) (*buildResult, error) {
 // index-addressed slots and the recombination reduces in fixed index
 // order, so the estimate is bit-identical at any worker count and across
 // repeated or concurrent calls, in both estimator modes.
+//
+//rbvet:pure
 func (s *Simulator) Estimate(p Plan) (Estimate, error) {
 	cp, err := s.compile(p)
 	if err != nil {

@@ -140,6 +140,8 @@ func (c *Clock) Pending() int { return len(c.events) }
 
 // Step pops and executes the earliest event, advancing Now to its time. It
 // reports whether an event was executed.
+//
+//rbvet:noalloc
 func (c *Clock) Step() bool {
 	for len(c.events) > 0 {
 		e := heap.Pop(&c.events).(*event)
@@ -156,6 +158,8 @@ func (c *Clock) Step() bool {
 // Run executes events until the queue drains or until virtual time would
 // exceed horizon (events at exactly horizon still run). It returns the
 // number of events executed. A non-positive horizon means no limit.
+//
+//rbvet:noalloc
 func (c *Clock) Run(horizon Time) int {
 	n := 0
 	for len(c.events) > 0 {
