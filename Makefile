@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race test-replan test-recovery vet lint lint-fast bench bench-plan experiments examples repro fuzz-short clean
+.PHONY: all build test test-race test-replan test-recovery vet lint lint-fast bench bench-plan bench-sim experiments examples repro fuzz-short clean
 
 all: build vet lint test test-race
 
@@ -55,6 +55,7 @@ fuzz-short:
 	go run ./cmd/rbfuzz -seed 1 -n 128
 	go run ./cmd/rbfuzz -seed 1 -n 32 -crash
 	go test ./internal/harness -run='^$$' -fuzz=FuzzEndToEnd -fuzztime=30s
+	go test ./internal/vclock -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=30s
 	go test ./internal/harness -run='^$$' -fuzz=FuzzRecover -fuzztime=30s
 	go test ./internal/journal -run='^$$' -fuzz=FuzzJournalRoundTrip -fuzztime=30s
 	go test ./internal/planner -run='^$$' -fuzz=FuzzPlanElastic -fuzztime=30s
@@ -78,6 +79,16 @@ bench:
 # results/estimator_bench.md.
 bench-plan:
 	go run ./cmd/rbbench -out BENCH_plan.json
+
+# Simulation-kernel scale benchmark: a 10^6-concurrent-trial fleet on
+# the timer wheel (events/sec, trials held, allocs/event — the dispatch
+# path must measure 0), the heap reference at comparison scale, the
+# schedule+cancel cycle against a 128k backlog on both kernels, and a
+# cross-kernel digest check. Emits BENCH_sim.json and exits nonzero on
+# an alloc or equivalence regression; the human-readable record lives
+# in results/sim_bench.md.
+bench-sim:
+	go run ./cmd/rbsimbench -out BENCH_sim.json
 
 # Regenerate every paper table/figure at full size (see EXPERIMENTS.md).
 experiments:

@@ -146,12 +146,12 @@ func TestPreemptionRacingSyncBarrier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !h.clock.RunUntil(func() bool { return len(job.r.stageDone) == 1 }) {
+	if !h.clock.RunUntil(func() bool { return job.r.soa.doneCount == 1 }) {
 		t.Fatal("no trial reached the barrier")
 	}
 	var victim trial.ID = -1
 	for _, tr := range job.r.trials {
-		if !job.r.stageDone[tr.ID()] && tr.State() == trial.Running {
+		if !job.r.soa.done[tr.ID()] && tr.State() == trial.Running {
 			victim = tr.ID()
 		}
 	}

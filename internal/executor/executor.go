@@ -14,6 +14,7 @@ package executor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/cloud"
@@ -148,18 +149,18 @@ type run struct {
 
 	stage     int
 	need      int // node target of the current stage
-	allocs    map[placement.TrialID]int
 	plan      placement.Plan
 	nodeByID  map[cluster.NodeID]*cluster.Node
 	remaining int
 	queue     []trial.ID
 	stageSet  []trial.ID // trials participating in the current stage
-	// stageDone marks trials that finished their stage budget and are
-	// idling at the barrier (their work survives preemption).
-	stageDone map[trial.ID]bool
-	// gen invalidates in-flight iteration events when a trial restarts
-	// after a preemption.
-	gen map[trial.ID]int
+	// soa is the dense per-trial scheduler state (allocations, iteration
+	// budgets, barrier marks, restart generations).
+	soa trialSoA
+	// dispID is the run's opcode dispatcher on the shared clock: the
+	// training hot loop schedules (opcode, trial, gen) events instead of
+	// closures, so steady-state iteration events allocate nothing.
+	dispID vclock.DispatchID
 	// pendingRestart holds preempted trials (and their per-trial
 	// allocations) awaiting replacement capacity.
 	pendingRestart []restartEntry
@@ -195,6 +196,49 @@ type restartEntry struct {
 	alloc int
 }
 
+// Opcodes for the run's event dispatcher — the dag.Program compilation
+// pattern applied to the training hot loop. Every steady-state event a
+// trial schedules is one of these, carrying (trial, generation) packed
+// into the first operand; firing one goes through vclock's zero-alloc
+// dispatch path instead of a per-event closure.
+const (
+	// opBegin starts (or resumes) a trial's iteration loop after the
+	// checkpoint-restore latency.
+	opBegin uint8 = iota
+	// opIterEnd completes one training iteration; its second operand
+	// carries the iteration's sampled duration as IEEE-754 bits.
+	opIterEnd
+)
+
+// packTrial packs a trial ID and its restart generation into one opcode
+// operand.
+func packTrial(id trial.ID, gen uint32) int64 {
+	return int64(uint32(id)) | int64(gen)<<32
+}
+
+// dispatch is the run's opcode handler. Stale events — scheduled under
+// a generation the trial has since restarted past — return without
+// effect, exactly like the closure-generation checks they replace.
+func (r *run) dispatch(op uint8, a, b int64) {
+	id := trial.ID(uint32(a))
+	gen := uint32(uint64(a) >> 32)
+	switch op {
+	case opBegin:
+		if r.soa.gen[id] != gen {
+			return // preempted before training began
+		}
+		r.runIteration(id)
+	case opIterEnd:
+		if r.err != nil {
+			return
+		}
+		if r.soa.gen[id] != gen {
+			return // stale: the trial restarted after a preemption
+		}
+		r.iterEnd(id, math.Float64frombits(uint64(b)))
+	}
+}
+
 // Job is a started execution. Several jobs can share one virtual clock
 // (each with its own cluster manager and provider accounting), enabling
 // concurrent multi-job execution such as Hyperband's bracket collection.
@@ -216,17 +260,17 @@ func Start(cfg Config) (*Job, error) {
 		tr = trace.New()
 	}
 	r := &run{
-		cfg:       cfg,
-		tr:        tr,
-		ctrl:      placement.NewController(cfg.Cluster.GPUsPerNode()),
-		store:     trial.NewStore(),
-		stageDone: make(map[trial.ID]bool),
-		gen:       make(map[trial.ID]int),
-		execPlan:  cfg.Plan.Clone(),
+		cfg:      cfg,
+		tr:       tr,
+		ctrl:     placement.NewController(cfg.Cluster.GPUsPerNode()),
+		store:    trial.NewStore(),
+		execPlan: cfg.Plan.Clone(),
 	}
+	r.soa.init(cfg.Spec.TotalTrials())
 	for i := 0; i < cfg.Spec.TotalTrials(); i++ {
 		r.trials = append(r.trials, trial.New(trial.ID(i), cfg.Configs[i]))
 	}
+	r.dispID = cfg.Clock.RegisterDispatcher(r.dispatch)
 	cfg.Cluster.SetPreemptionHandler(r.onPreemption)
 	r.startStage(0)
 	return &Job{r: r}, nil
@@ -246,6 +290,13 @@ func (j *Job) CurrentPlan() sim.Plan { return j.r.execPlan.Clone() }
 // Trials returns the job's trial objects in trial-ID order. Callers must
 // treat them as read-only; control-plane snapshots read their state.
 func (j *Job) Trials() []*trial.Trial { return j.r.trials }
+
+// StateFold returns a fingerprint of the scheduler's dense per-trial
+// state (allocations, iteration budgets, barrier marks, restart
+// generations). Journal snapshots capture it so crash recovery verifies
+// the re-executed scheduler — not just trial-visible state — converged
+// to the original run.
+func (j *Job) StateFold() uint64 { return j.r.soa.fold() }
 
 // Result returns the realized result once the job is done.
 func (j *Job) Result() (*Result, error) {
@@ -366,15 +417,14 @@ func (r *run) beginTraining() {
 		}
 	}
 
-	r.allocs = make(map[placement.TrialID]int, len(runnable))
 	r.stageSet = nil
-	r.stageDone = make(map[trial.ID]bool)
+	r.soa.resetStage()
 	r.pendingRestart = nil
 	for _, t := range surv {
 		r.stageSet = append(r.stageSet, t.ID())
 	}
 	for _, t := range runnable {
-		r.allocs[placement.TrialID(t.ID())] = per
+		r.soa.setAlloc(t.ID(), per)
 	}
 
 	prev := r.plan
@@ -422,14 +472,15 @@ func (r *run) cumItersBefore(stage int) int {
 // placement controller (co-locating) or by deliberate scattering (the
 // ablation baseline).
 func (r *run) place() error {
+	allocs := r.allocsMap()
 	if r.cfg.DisablePlacement {
-		r.plan = scatter(r.allocs, r.cfg.Cluster.Nodes(), r.plan)
+		r.plan = scatter(allocs, r.cfg.Cluster.Nodes(), r.plan)
 		if r.plan == nil {
 			return fmt.Errorf("executor: scatter placement failed")
 		}
 		return nil
 	}
-	plan, err := r.ctrl.Update(r.allocs, r.cfg.Cluster.Nodes())
+	plan, err := r.ctrl.Update(allocs, r.cfg.Cluster.Nodes())
 	if err != nil {
 		return err
 	}
@@ -532,22 +583,22 @@ func (r *run) startTrial(t *trial.Trial, iters int, withRestore bool) {
 	r.store.Put(ck)
 	r.tr.RecordGang(now, trace.KindTrialStart, r.stage, int(t.ID()), gpus, nodes,
 		fmt.Sprintf("%d GPUs on %d nodes", gpus, nodes))
-	gen := r.gen[t.ID()]
-	r.cfg.Clock.After(restore, func() {
-		if r.gen[t.ID()] != gen {
-			return // preempted before training began
-		}
-		r.runIteration(t, iters)
-	})
+	r.soa.left[t.ID()] = int32(iters)
+	r.cfg.Clock.AtOp(now+vclock.Time(restore), r.dispID, opBegin,
+		packTrial(t.ID(), r.soa.gen[t.ID()]), 0)
 }
 
-// runIteration executes one training iteration of t, then recurses until
-// the stage's iteration budget is spent.
-func (r *run) runIteration(t *trial.Trial, left int) {
+// runIteration schedules one training iteration of the trial: it draws
+// the iteration latency and enqueues the opIterEnd event that completes
+// it. Reading the gang from the live plan at both ends is sound because
+// placement preserves running gangs (the contract documented on scatter
+// and placement.Controller.Update); any move implies a restart, which
+// bumps the generation and strands this event.
+func (r *run) runIteration(id trial.ID) {
 	if r.err != nil {
 		return
 	}
-	asg := r.plan[placement.TrialID(t.ID())]
+	asg := r.plan[placement.TrialID(id)]
 	gpus, spread := asg.GPUs(), asg.Nodes()
 	dur := r.cfg.Model.IterLatencyDist(r.cfg.Batch, gpus, spread).Sample(r.cfg.RNG)
 	if r.cfg.LatencyScale != nil {
@@ -555,51 +606,54 @@ func (r *run) runIteration(t *trial.Trial, left int) {
 		// byte-identical with and without drift.
 		dur *= r.cfg.LatencyScale(r.cfg.Clock.Now())
 	}
-	gen := r.gen[t.ID()]
-	r.cfg.Clock.After(dur, func() {
-		if r.err != nil {
+	r.cfg.Clock.AtOp(r.cfg.Clock.Now()+vclock.Time(dur), r.dispID, opIterEnd,
+		packTrial(id, r.soa.gen[id]), int64(math.Float64bits(dur)))
+}
+
+// iterEnd completes one training iteration: meter usage, observe the
+// metric, feed the drift detector, then either schedule the next
+// iteration or report the trial done with its stage budget.
+func (r *run) iterEnd(id trial.ID, dur float64) {
+	t := r.trials[int(id)]
+	asg := r.plan[placement.TrialID(id)]
+	gpus := asg.GPUs()
+	// Meter usage for per-function billing and utilization.
+	for nid, g := range asg {
+		node := r.nodeByID[nid]
+		if node == nil {
+			r.fail(fmt.Errorf("executor: trial %d placed on missing node %d", id, nid))
 			return
 		}
-		if r.gen[t.ID()] != gen {
-			return // stale: the trial restarted after a preemption
-		}
-		// Meter usage for per-function billing and utilization.
-		for nid, g := range asg {
-			node := r.nodeByID[nid]
-			if node == nil {
-				r.fail(fmt.Errorf("executor: trial %d placed on missing node %d", t.ID(), nid))
+		r.cfg.Provider.RecordUsage(node.Instance, float64(g)*dur)
+	}
+	r.tr.AddBusy(float64(gpus) * dur)
+
+	acc := r.cfg.Model.ObserveAccuracy(t.Config(), t.CumIters()+1, r.cfg.RNG)
+	now := r.cfg.Clock.Now()
+	if err := t.RecordIteration(acc, now); err != nil {
+		r.fail(err)
+		return
+	}
+	r.tr.Record(now, trace.KindTrialIter, r.stage, int(id),
+		fmt.Sprintf("acc=%.4f", acc))
+	if rc := r.cfg.Replan; rc != nil {
+		// Feed the observation unconditionally; only replan when a
+		// future stage remains to be rewritten.
+		if rc.ObserveIteration(gpus, dur, now) && r.stage < r.cfg.Spec.NumStages()-1 {
+			r.tr.Record(now, trace.KindDriftTrigger, r.stage, int(id),
+				fmt.Sprintf("gpus=%d", gpus))
+			r.doReplan(replan.ReasonDrift)
+			if r.err != nil {
 				return
 			}
-			r.cfg.Provider.RecordUsage(node.Instance, float64(g)*dur)
 		}
-		r.tr.AddBusy(float64(gpus) * dur)
-
-		acc := r.cfg.Model.ObserveAccuracy(t.Config(), t.CumIters()+1, r.cfg.RNG)
-		now := r.cfg.Clock.Now()
-		if err := t.RecordIteration(acc, now); err != nil {
-			r.fail(err)
-			return
-		}
-		r.tr.Record(now, trace.KindTrialIter, r.stage, int(t.ID()),
-			fmt.Sprintf("acc=%.4f", acc))
-		if rc := r.cfg.Replan; rc != nil {
-			// Feed the observation unconditionally; only replan when a
-			// future stage remains to be rewritten.
-			if rc.ObserveIteration(gpus, dur, now) && r.stage < r.cfg.Spec.NumStages()-1 {
-				r.tr.Record(now, trace.KindDriftTrigger, r.stage, int(t.ID()),
-					fmt.Sprintf("gpus=%d", gpus))
-				r.doReplan(replan.ReasonDrift)
-				if r.err != nil {
-					return
-				}
-			}
-		}
-		if left > 1 {
-			r.runIteration(t, left-1)
-			return
-		}
-		r.trialStageDone(t)
-	})
+	}
+	r.soa.left[id]--
+	if r.soa.left[id] > 0 {
+		r.runIteration(id)
+		return
+	}
+	r.trialStageDone(t)
 }
 
 // doReplan asks the replan controller for a decision about the remaining
@@ -637,7 +691,7 @@ func (r *run) remainingStageIters() int {
 	end := r.cumItersBefore(r.stage) + st.Iters
 	left := 0
 	for _, t := range r.trials {
-		if t.State() != trial.Running || r.stageDone[t.ID()] {
+		if t.State() != trial.Running || r.soa.done[t.ID()] {
 			continue
 		}
 		if l := end - t.CumIters(); l > left {
@@ -648,7 +702,7 @@ func (r *run) remainingStageIters() int {
 		left = st.Iters
 	}
 	if n := len(r.queue); n > 0 {
-		slots := len(r.allocs)
+		slots := r.soa.slots
 		if slots < 1 {
 			slots = 1
 		}
@@ -664,16 +718,16 @@ func (r *run) trialStageDone(t *trial.Trial) {
 	now := r.cfg.Clock.Now()
 	r.tr.Record(now, trace.KindTrialDone, r.stage, int(t.ID()), "")
 	r.remaining--
-	r.stageDone[t.ID()] = true
+	r.soa.markDone(t.ID())
 
 	if len(r.queue) > 0 {
 		// Reassign the freed slot to the next queued trial.
 		nextID := r.queue[0]
 		r.queue = r.queue[1:]
-		per := r.allocs[placement.TrialID(t.ID())]
-		delete(r.allocs, placement.TrialID(t.ID()))
+		per := r.soa.allocOf(t.ID())
+		r.soa.clearAlloc(t.ID())
 		r.ctrl.Remove(placement.TrialID(t.ID()))
-		r.allocs[placement.TrialID(nextID)] = per
+		r.soa.setAlloc(nextID, per)
 		if err := r.place(); err != nil {
 			r.fail(err)
 			return
@@ -720,7 +774,7 @@ func (r *run) onPreemption(node *cluster.Node) {
 			continue
 		}
 		id := trial.ID(pid)
-		if r.stageDone[id] {
+		if r.soa.done[id] {
 			continue // finished this stage; nothing running was lost
 		}
 		if r.trials[int(id)].State() == trial.Running {
@@ -731,7 +785,7 @@ func (r *run) onPreemption(node *cluster.Node) {
 
 	for _, id := range affected {
 		t := r.trials[int(id)]
-		r.gen[id]++ // invalidate in-flight iteration events
+		r.soa.gen[id]++ // invalidate in-flight iteration events
 		if err := t.Preempt(); err != nil {
 			r.fail(err)
 			return
@@ -747,9 +801,9 @@ func (r *run) onPreemption(node *cluster.Node) {
 		}
 		r.pendingRestart = append(r.pendingRestart, restartEntry{
 			id:    id,
-			alloc: r.allocs[placement.TrialID(id)],
+			alloc: r.soa.allocOf(id),
 		})
-		delete(r.allocs, placement.TrialID(id))
+		r.soa.clearAlloc(id)
 		r.ctrl.Remove(placement.TrialID(id))
 		r.tr.Record(now, trace.KindTrialPause, r.stage, int(id), "preempted; will restart stage")
 	}
@@ -776,7 +830,7 @@ func (r *run) recoverPreempted() {
 		r.nodeByID[n.ID] = n
 	}
 	for _, e := range pending {
-		r.allocs[placement.TrialID(e.id)] = e.alloc
+		r.soa.setAlloc(e.id, e.alloc)
 	}
 	if err := r.place(); err != nil {
 		r.fail(err)
@@ -848,8 +902,8 @@ func (r *run) syncBarrier() {
 			r.tr.Record(now, trace.KindTrialKill, r.stage, int(t.ID()), "")
 		}
 		r.ctrl.Remove(pid)
+		r.soa.clearAlloc(t.ID())
 	}
-	r.allocs = nil
 
 	if last {
 		r.finish()

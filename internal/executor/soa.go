@@ -1,0 +1,124 @@
+package executor
+
+import (
+	"repro/internal/placement"
+	"repro/internal/trial"
+)
+
+// trialSoA holds the scheduler's per-trial state as dense parallel
+// arrays indexed by trial ID — struct-of-arrays instead of the former
+// map-per-field layout. At fleet scale (ROADMAP item 3: 10^6 concurrent
+// trials) the maps dominated both memory and cache misses in the event
+// hot loop; the arrays are allocated once at Start and never grow, so
+// every per-event touch is an index into a contiguous block.
+type trialSoA struct {
+	// gen invalidates in-flight iteration events when a trial restarts
+	// after a preemption: events carry the generation they were scheduled
+	// under and return early on mismatch.
+	gen []uint32
+	// alloc is the trial's GPU allocation in the current stage, -1 when
+	// it holds no slot (queued, finished, or between stages).
+	alloc []int32
+	// left is the trial's remaining iteration budget in the current
+	// stage, maintained by the opcode dispatch loop.
+	left []int32
+	// done marks trials that finished their stage budget and are idling
+	// at the barrier (their work survives preemption).
+	done []bool
+	// slots counts trials with alloc >= 0; doneCount counts done trials.
+	slots     int
+	doneCount int
+}
+
+func (s *trialSoA) init(n int) {
+	s.gen = make([]uint32, n)
+	s.alloc = make([]int32, n)
+	s.left = make([]int32, n)
+	s.done = make([]bool, n)
+	for i := range s.alloc {
+		s.alloc[i] = -1
+	}
+}
+
+// resetStage clears the per-stage columns (allocations and barrier
+// marks); generations persist for the whole run.
+func (s *trialSoA) resetStage() {
+	for i := range s.alloc {
+		s.alloc[i] = -1
+		s.done[i] = false
+		s.left[i] = 0
+	}
+	s.slots, s.doneCount = 0, 0
+}
+
+func (s *trialSoA) setAlloc(id trial.ID, gpus int) {
+	if s.alloc[id] < 0 {
+		s.slots++
+	}
+	s.alloc[id] = int32(gpus)
+}
+
+func (s *trialSoA) clearAlloc(id trial.ID) {
+	if s.alloc[id] >= 0 {
+		s.slots--
+	}
+	s.alloc[id] = -1
+}
+
+// allocOf returns the trial's current allocation (0 when it has none,
+// matching the old map's zero-value read).
+func (s *trialSoA) allocOf(id trial.ID) int {
+	if s.alloc[id] < 0 {
+		return 0
+	}
+	return int(s.alloc[id])
+}
+
+func (s *trialSoA) markDone(id trial.ID) {
+	if !s.done[id] {
+		s.doneCount++
+	}
+	s.done[id] = true
+}
+
+// fold hashes every column into an FNV-1a fingerprint. Journal
+// snapshots capture it so crash recovery can verify the re-executed
+// scheduler state — not just trial-visible state — matches the
+// original run bit for bit.
+func (s *trialSoA) fold() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 0x100000001b3
+			v >>= 8
+		}
+	}
+	mix(uint64(s.slots))
+	mix(uint64(s.doneCount))
+	for i := range s.gen {
+		mix(uint64(s.gen[i]))
+		mix(uint64(uint32(s.alloc[i])))
+		mix(uint64(uint32(s.left[i])))
+		if s.done[i] {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
+// allocsMap materializes the active allocations as the map form the
+// placement controller consumes. Placement runs only at stage starts,
+// slot hand-offs, and preemption recoveries — cold paths — so the
+// transient map costs nothing where it matters.
+func (r *run) allocsMap() map[placement.TrialID]int {
+	m := make(map[placement.TrialID]int, r.soa.slots)
+	for id, g := range r.soa.alloc {
+		if g >= 0 {
+			m[placement.TrialID(id)] = int(g)
+		}
+	}
+	return m
+}

@@ -1,0 +1,203 @@
+// Package fleet drives fleet-scale populations of simulated trials
+// through the vclock kernel — the 10^6-concurrent-trial workload of
+// ROADMAP item 3. It is the kernel's scale harness: each trial is a few
+// rows of struct-of-arrays state advanced entirely by opcode dispatch
+// (no closures, no per-trial heap objects), with a watchdog timer per
+// in-flight iteration that is cancelled on completion — the
+// schedule/cancel churn pattern the executor's preemption machinery
+// produces, at three orders of magnitude more concurrency than a real
+// experiment.
+//
+// The package deliberately models only the kernel-facing shape of a
+// tuning fleet (iteration events, watchdog cancels, staggered starts),
+// not placement or billing: internal/executor remains the real control
+// plane, differentially tested at its own scale, while fleet measures
+// the substrate the fleet-scale roadmap items will stand on.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Config sizes a fleet run.
+type Config struct {
+	// Trials is the number of concurrent trials; every one holds at
+	// least one pending event for the whole run.
+	Trials int
+	// Iters is the number of iterations each trial executes.
+	Iters int
+	// MeanIterSeconds is the center of the per-iteration virtual
+	// latency; per-trial noise spreads samples across (0.5, 1.5) of it.
+	MeanIterSeconds float64
+	// WatchdogSeconds is the watchdog deadline armed for every
+	// iteration and cancelled when the iteration completes. It must
+	// exceed 1.5*MeanIterSeconds or watchdogs fire spuriously.
+	WatchdogSeconds float64
+	// Seed derives every per-trial latency stream.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Trials < 1:
+		return fmt.Errorf("fleet: %d trials", c.Trials)
+	case c.Iters < 1:
+		return fmt.Errorf("fleet: %d iters", c.Iters)
+	case c.MeanIterSeconds <= 0:
+		return fmt.Errorf("fleet: mean iteration latency %v", c.MeanIterSeconds)
+	case c.WatchdogSeconds <= 1.5*c.MeanIterSeconds:
+		return fmt.Errorf("fleet: watchdog %vs must exceed the max iteration latency %vs",
+			c.WatchdogSeconds, 1.5*c.MeanIterSeconds)
+	}
+	return nil
+}
+
+// Fleet opcodes.
+const (
+	opIter uint8 = iota // one iteration completed
+	opDog               // watchdog fired (a stall; should never happen here)
+)
+
+// Fleet is a running population. All per-trial state lives in dense
+// parallel arrays indexed by trial row.
+type Fleet struct {
+	cfg   Config
+	clock *vclock.Clock
+	disp  vclock.DispatchID
+
+	left []int32         // iterations remaining per trial
+	rng  []uint64        // splitmix64 state per trial
+	dog  []vclock.Handle // armed watchdog per trial
+
+	done     int
+	events   uint64 // opcode events fired
+	cancels  uint64 // watchdog cancels issued
+	stalls   uint64 // watchdogs that actually fired
+	maxPend  int
+	finished vclock.Time
+}
+
+// New builds a fleet on the given clock and schedules every trial's
+// first iteration, staggered across one mean latency so start events do
+// not all share a tick.
+func New(clock *vclock.Clock, cfg Config) (*Fleet, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:   cfg,
+		clock: clock,
+		left:  make([]int32, cfg.Trials),
+		rng:   make([]uint64, cfg.Trials),
+		dog:   make([]vclock.Handle, cfg.Trials),
+	}
+	f.disp = clock.RegisterDispatcher(f.dispatch)
+	for i := 0; i < cfg.Trials; i++ {
+		f.left[i] = int32(cfg.Iters)
+		f.rng[i] = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		start := clock.Now() + vclock.Time(f.uniform(i)*cfg.MeanIterSeconds)
+		clock.AtOp(start, f.disp, opIter, int64(i), 0)
+		f.arm(i, start)
+	}
+	return f, nil
+}
+
+// splitmix64 advances trial i's latency stream.
+func (f *Fleet) next(i int) uint64 {
+	f.rng[i] += 0x9e3779b97f4a7c15
+	z := f.rng[i]
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniform draws from [0, 1).
+func (f *Fleet) uniform(i int) float64 {
+	return float64(f.next(i)>>11) / (1 << 53)
+}
+
+// iterLatency draws the next iteration latency: (0.5, 1.5) x mean.
+func (f *Fleet) iterLatency(i int) float64 {
+	return (0.5 + f.uniform(i)) * f.cfg.MeanIterSeconds
+}
+
+// arm schedules trial i's watchdog for the iteration ending at `end`.
+//
+//rbvet:noalloc
+func (f *Fleet) arm(i int, end vclock.Time) {
+	f.dog[i] = f.clock.AtOp(end+vclock.Time(f.cfg.WatchdogSeconds), f.disp, opDog, int64(i), 0)
+}
+
+// dispatch is the fleet's opcode handler — the entire per-event hot
+// path. It allocates nothing: cancel, schedule and the latency draw all
+// run on preallocated state.
+//
+//rbvet:noalloc
+func (f *Fleet) dispatch(op uint8, a, b int64) {
+	f.events++
+	i := int(a)
+	switch op {
+	case opIter:
+		if f.clock.Cancel(f.dog[i]) {
+			f.cancels++
+		}
+		f.left[i]--
+		if f.left[i] <= 0 {
+			f.done++
+			if f.done == f.cfg.Trials {
+				f.finished = f.clock.Now()
+			}
+			return
+		}
+		end := f.clock.Now() + vclock.Time(f.iterLatency(i))
+		f.clock.AtOp(end, f.disp, opIter, int64(i), 0)
+		f.arm(i, end)
+	case opDog:
+		// A stall: in this workload watchdogs always outlive their
+		// iteration, so a firing means the kernel lost the iteration
+		// event. Counted and surfaced by Stats for the bench to assert
+		// on.
+		f.stalls++
+	}
+}
+
+// Done reports whether every trial has finished its iteration budget.
+func (f *Fleet) Done() bool { return f.done == f.cfg.Trials }
+
+// Step executes one kernel event, tracking peak queue occupancy.
+func (f *Fleet) Step() bool {
+	if p := f.clock.Pending(); p > f.maxPend {
+		f.maxPend = p
+	}
+	return f.clock.Step()
+}
+
+// Stats is the outcome of a fleet run.
+type Stats struct {
+	// Trials is the concurrent population size; Events the opcode events
+	// fired; Cancels the watchdog cancellations issued.
+	Trials  int
+	Events  uint64
+	Cancels uint64
+	// Stalls counts watchdogs that fired — always 0 unless the kernel
+	// dropped or reordered an iteration event.
+	Stalls uint64
+	// PeakPending is the maximum number of events held concurrently.
+	PeakPending int
+	// VirtualSeconds is the virtual completion time of the whole fleet.
+	VirtualSeconds float64
+}
+
+// Stats snapshots the run's counters.
+func (f *Fleet) Stats() Stats {
+	return Stats{
+		Trials:         f.cfg.Trials,
+		Events:         f.events,
+		Cancels:        f.cancels,
+		Stalls:         f.stalls,
+		PeakPending:    f.maxPend,
+		VirtualSeconds: float64(f.finished),
+	}
+}

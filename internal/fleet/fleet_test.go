@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func drive(t *testing.T, mk func() *vclock.Clock, cfg Config) Stats {
+	t.Helper()
+	clock := mk()
+	f, err := New(clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !f.Done() {
+		if !f.Step() {
+			t.Fatal("queue drained before the fleet finished")
+		}
+	}
+	return f.Stats()
+}
+
+var smallCfg = Config{
+	Trials:          2000,
+	Iters:           5,
+	MeanIterSeconds: 30,
+	WatchdogSeconds: 120,
+	Seed:            7,
+}
+
+func TestFleetCompletes(t *testing.T) {
+	s := drive(t, vclock.New, smallCfg)
+	// Every trial fires Iters iteration events; watchdogs never fire.
+	if want := uint64(smallCfg.Trials * smallCfg.Iters); s.Events != want {
+		t.Fatalf("events = %d, want %d", s.Events, want)
+	}
+	if s.Stalls != 0 {
+		t.Fatalf("%d watchdogs fired; the kernel lost iteration events", s.Stalls)
+	}
+	if s.Cancels != s.Events {
+		t.Fatalf("cancels = %d, want one per iteration event %d", s.Cancels, s.Events)
+	}
+	// Every trial holds an iteration and a watchdog concurrently.
+	if s.PeakPending < smallCfg.Trials {
+		t.Fatalf("peak pending %d never reached the population %d", s.PeakPending, smallCfg.Trials)
+	}
+}
+
+func TestFleetDeterministic(t *testing.T) {
+	a := drive(t, vclock.New, smallCfg)
+	b := drive(t, vclock.New, smallCfg)
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestFleetKernelEquivalence(t *testing.T) {
+	w := drive(t, vclock.New, smallCfg)
+	h := drive(t, vclock.NewHeap, smallCfg)
+	if w != h {
+		t.Fatalf("kernels diverged on the fleet workload:\n  wheel %+v\n  heap  %+v", w, h)
+	}
+}
+
+func TestFleetSteadyStateAllocs(t *testing.T) {
+	// After warmup (slab and wheel grown to capacity), the fleet's event
+	// loop must allocate nothing: this is the allocs/event = 0 claim of
+	// BENCH_sim.json, enforced as a regression test.
+	clock := vclock.New()
+	f, err := New(clock, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := uint64(smallCfg.Trials) // one full round of iteration events
+	for f.events < warm && f.Step() {
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := f.events
+	for !f.Done() {
+		if !f.Step() {
+			t.Fatal("queue drained early")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if mallocs, events := after.Mallocs-before.Mallocs, f.events-start; mallocs > 0 {
+		t.Fatalf("steady state allocated %d objects over %d events; want 0", mallocs, events)
+	}
+}

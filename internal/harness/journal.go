@@ -82,6 +82,7 @@ func captureSnapshot(clock *vclock.Clock, job *executor.Job, provider *cloud.Pro
 	if job != nil {
 		s.Stage = int64(job.Stage())
 		s.Alloc = allocI64(job.CurrentPlan().Alloc)
+		s.ExecFold = job.StateFold()
 		for _, t := range job.Trials() {
 			acc, ok := t.LatestAccuracy()
 			s.Trials = append(s.Trials, journal.TrialSnap{

@@ -100,6 +100,16 @@ func (a *Artifacts) finishedAt() vclock.Time { return vclock.Time(a.Result.JCT) 
 // repeated calls produce bit-identical artifacts.
 func RunScenario(sc Scenario) (*Artifacts, error) { return runScenario(sc, nil) }
 
+// RunScenarioOnKernel is RunScenario on a caller-chosen simulation
+// kernel: newClock supplies the virtual clock (vclock.New for the
+// production timer wheel, vclock.NewHeap for the reference binary
+// heap). The differential kernel suite runs every corpus scenario under
+// both and requires bit-identical artifacts; everything downstream of
+// the clock is kernel-agnostic.
+func RunScenarioOnKernel(sc Scenario, newClock func() *vclock.Clock) (*Artifacts, error) {
+	return runScenarioOn(sc, nil, newClock)
+}
+
 // runScenario is RunScenario with an optional journal writer: when jw is
 // non-nil, every executor state transition and replan decision streams
 // through it (write-ahead), snapshots are captured at its interval, and
@@ -107,6 +117,11 @@ func RunScenario(sc Scenario) (*Artifacts, error) { return runScenario(sc, nil) 
 // clock steps. Journaling draws no randomness and mutates no run state,
 // so a journaled run's artifacts are bit-identical to a plain run's.
 func runScenario(sc Scenario, jw *journal.Writer) (*Artifacts, error) {
+	return runScenarioOn(sc, jw, vclock.New)
+}
+
+// runScenarioOn is the full pipeline, parameterized over the kernel.
+func runScenarioOn(sc Scenario, jw *journal.Writer, newClock func() *vclock.Clock) (*Artifacts, error) {
 	root := scenarioRoot(sc.BatchSeed, sc.Index)
 
 	// Plan. The simulator gets its own stream; planning runs serially so
@@ -211,7 +226,7 @@ func runScenario(sc Scenario, jw *journal.Writer) (*Artifacts, error) {
 	// Execute on a fresh substrate. The executor and provider RNG streams
 	// are held by name so control-plane snapshots can capture their
 	// cursors (Stream is pure: these are the same streams the run uses).
-	clock := vclock.New()
+	clock := newClock()
 	execRNG := root.Stream(streamExecutor)
 	provRNG := root.Stream(streamProvider)
 	provider, err := cloud.NewProvider(clock, provRNG,

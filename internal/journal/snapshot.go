@@ -43,6 +43,12 @@ type Snapshot struct {
 	Alloc []int64
 	// Trials is the per-trial state, in trial-ID order.
 	Trials []TrialSnap
+	// ExecFold is the executor's fingerprint of its dense per-trial
+	// scheduler state (executor.Job.StateFold): allocations, iteration
+	// budgets, barrier marks, restart generations. Zero before the
+	// executor starts. It extends snapshot verification to scheduler
+	// internals that trial-visible state alone cannot distinguish.
+	ExecFold uint64
 	// TotalCost, DataCost, Instances and BusyGPUSeconds are the accrued
 	// billing and metering state.
 	TotalCost      float64
@@ -84,6 +90,7 @@ func (s *Snapshot) Encode() []byte {
 		b.bool(t.HasAcc)
 		b.f64(t.Acc)
 	}
+	b.u64(s.ExecFold)
 	b.f64(s.TotalCost)
 	b.f64(s.DataCost)
 	b.i64(s.Instances)
@@ -135,6 +142,7 @@ func decodeSnapshot(d *dec) (*Snapshot, error) {
 			}
 		}
 	}
+	s.ExecFold = d.mustU64(&err)
 	s.TotalCost = d.mustF64(&err)
 	s.DataCost = d.mustF64(&err)
 	s.Instances = d.mustI64(&err)

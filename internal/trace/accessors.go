@@ -5,7 +5,8 @@ import "sort"
 // Oracle-facing event accessors: the chaos harness (internal/harness)
 // checks system-wide invariants over recorded traces, and needs cheap,
 // allocation-honest views of the event log without re-implementing
-// filtering at every call site.
+// filtering at every call site. Filters scan single columns of the
+// columnar log and materialize only the matching events.
 
 // Filter returns the recorded events of the given kind, in record order.
 // Nil on a nil recorder.
@@ -14,9 +15,9 @@ func (r *Recorder) Filter(kind Kind) []Event {
 		return nil
 	}
 	var out []Event
-	for _, e := range r.events {
-		if e.Kind == kind {
-			out = append(out, e)
+	for i, k := range r.kind {
+		if k == kind {
+			out = append(out, r.EventAt(i))
 		}
 	}
 	return out
@@ -30,11 +31,11 @@ func (r *Recorder) ByTrial() map[int][]Event {
 		return nil
 	}
 	out := make(map[int][]Event)
-	for _, e := range r.events {
-		if e.Trial < 0 {
+	for i, id := range r.trial {
+		if id < 0 {
 			continue
 		}
-		out[e.Trial] = append(out[e.Trial], e)
+		out[int(id)] = append(out[int(id)], r.EventAt(i))
 	}
 	return out
 }
@@ -57,8 +58,8 @@ func (r *Recorder) CountTrial(kind Kind, trial int) int {
 		return 0
 	}
 	n := 0
-	for _, e := range r.events {
-		if e.Kind == kind && e.Trial == trial {
+	for i, k := range r.kind {
+		if k == kind && int(r.trial[i]) == trial {
 			n++
 		}
 	}

@@ -52,11 +52,21 @@ type Event struct {
 	Nodes int `json:"nodes,omitempty"`
 }
 
-// Recorder accumulates events and GPU-usage accounting. The zero value is
-// ready to use; a nil *Recorder is also valid and discards everything, so
-// callers need no nil checks.
+// Recorder accumulates events and GPU-usage accounting. Events are
+// stored column-wise (struct-of-arrays): fleet-scale runs record
+// millions of events, and the digest and oracle passes that dominate
+// read traffic scan one or two fields of every event — columnar layout
+// keeps those scans inside a few contiguous arrays instead of striding
+// over full structs. The zero value is ready to use; a nil *Recorder is
+// also valid and discards everything, so callers need no nil checks.
 type Recorder struct {
-	events []Event
+	at    []vclock.Time
+	kind  []Kind
+	stage []int32
+	trial []int32
+	note  []string
+	gpus  []int32
+	nodes []int32
 	// busyGPUSeconds accumulates task-occupied GPU time, for utilization.
 	busyGPUSeconds float64
 	// observer, when non-nil, receives every event as it is recorded —
@@ -78,9 +88,15 @@ func (r *Recorder) SetObserver(fn func(Event)) {
 	r.observer = fn
 }
 
-// add appends an event and notifies the observer.
+// add appends an event to every column and notifies the observer.
 func (r *Recorder) add(e Event) {
-	r.events = append(r.events, e)
+	r.at = append(r.at, e.At)
+	r.kind = append(r.kind, e.Kind)
+	r.stage = append(r.stage, int32(e.Stage))
+	r.trial = append(r.trial, int32(e.Trial))
+	r.note = append(r.note, e.Note)
+	r.gpus = append(r.gpus, int32(e.GPUs))
+	r.nodes = append(r.nodes, int32(e.Nodes))
 	if r.observer != nil {
 		r.observer(e)
 	}
@@ -123,13 +139,39 @@ func (r *Recorder) BusyGPUSeconds() float64 {
 	return r.busyGPUSeconds
 }
 
+// Len returns the number of recorded events. Zero on a nil recorder.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.at)
+}
+
+// EventAt materializes event i (in record order) from the columns.
+func (r *Recorder) EventAt(i int) Event {
+	return Event{
+		At:    r.at[i],
+		Kind:  r.kind[i],
+		Stage: int(r.stage[i]),
+		Trial: int(r.trial[i]),
+		Note:  r.note[i],
+		GPUs:  int(r.gpus[i]),
+		Nodes: int(r.nodes[i]),
+	}
+}
+
 // Events returns a copy of the recorded events in order. Nil on a nil
-// recorder.
+// recorder. Scans should prefer Len/EventAt (or the accessors), which
+// avoid materializing the whole log.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	return append([]Event(nil), r.events...)
+	out := make([]Event, r.Len())
+	for i := range out {
+		out[i] = r.EventAt(i)
+	}
+	return out
 }
 
 // Count returns the number of events with the given kind.
@@ -138,8 +180,8 @@ func (r *Recorder) Count(kind Kind) int {
 		return 0
 	}
 	n := 0
-	for _, e := range r.events {
-		if e.Kind == kind {
+	for _, k := range r.kind {
+		if k == kind {
 			n++
 		}
 	}
@@ -157,7 +199,8 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "at,kind,stage,trial,note"); err != nil {
 		return err
 	}
-	for _, e := range r.Events() {
+	for i := 0; i < r.Len(); i++ {
+		e := r.EventAt(i)
 		if _, err := fmt.Fprintf(w, "%.3f,%s,%d,%d,%q\n",
 			float64(e.At), e.Kind, e.Stage, e.Trial, e.Note); err != nil {
 			return err

@@ -1,0 +1,126 @@
+package vclock
+
+import "testing"
+
+// benchFill pre-loads a clock with n pending opcode events spread over
+// the next ~n milliseconds, returning their handles. The load makes
+// cancel cost under contention visible: the heap kernel pays O(log n)
+// sift work per removal, the wheel unlinks in O(1).
+func benchFill(c *Clock, id DispatchID, n int) []Handle {
+	hs := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		at := c.Now() + Time(1+(i*7919)%n)*0.001
+		hs[i] = c.AtOp(at, id, 0, int64(i), 0)
+	}
+	return hs
+}
+
+func nopDispatcher(op uint8, a, b int64) {}
+
+// BenchmarkCancel measures schedule+cancel of one event against a
+// 128k-event backlog, per kernel. This is the watchdog-timer pattern:
+// almost every timer scheduled by the executor (preemption restores,
+// stage barriers) is cancelled before it fires.
+func BenchmarkCancel(b *testing.B) {
+	for _, k := range kernels {
+		b.Run(k.name, func(b *testing.B) {
+			c := k.mk()
+			id := c.RegisterDispatcher(nopDispatcher)
+			benchFill(c, id, 128<<10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := c.AtOp(c.Now()+Time(1+i%1000)*0.0005, id, 0, 0, 0)
+				c.Cancel(h)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedule measures steady-state event scheduling into a
+// standing backlog, per kernel.
+func BenchmarkSchedule(b *testing.B) {
+	for _, k := range kernels {
+		b.Run(k.name, func(b *testing.B) {
+			c := k.mk()
+			id := c.RegisterDispatcher(nopDispatcher)
+			hs := benchFill(c, id, 128<<10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Replace one standing event per iteration so the backlog
+				// stays constant instead of growing with b.N.
+				j := i & (128<<10 - 1)
+				c.Cancel(hs[j])
+				hs[j] = c.AtOp(c.Now()+Time(1+i%1000)*0.001, id, 0, 0, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkFire measures the schedule→fire round trip through the
+// zero-alloc opcode dispatch path, per kernel.
+func BenchmarkFire(b *testing.B) {
+	for _, k := range kernels {
+		b.Run(k.name, func(b *testing.B) {
+			c := k.mk()
+			id := c.RegisterDispatcher(nopDispatcher)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.AtOp(c.Now()+0.0005, id, 0, 0, 0)
+				c.Step()
+			}
+		})
+	}
+}
+
+// TestCancelAllocs pins the steady-state schedule+cancel cycle at zero
+// allocations per operation on both kernels. This is the regression
+// test for the wheel's O(1) eager cancel: a lazy-only cancel would leak
+// slab slots, force slab growth, and show up here as nonzero allocs.
+func TestCancelAllocs(t *testing.T) {
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		id := c.RegisterDispatcher(nopDispatcher)
+		// Warm the slab and kernel internals past any growth.
+		for _, h := range benchFill(c, id, 4096) {
+			c.Cancel(h)
+		}
+		allocs := testing.AllocsPerRun(2000, func() {
+			h := c.AtOp(c.Now()+1, id, 0, 0, 0)
+			c.Cancel(h)
+		})
+		if allocs != 0 {
+			t.Fatalf("schedule+cancel allocates %.1f objects/op, want 0", allocs)
+		}
+	})
+}
+
+// TestDispatchAllocs pins the full schedule→fire→dispatch cycle through
+// AtOp at zero allocations per event on both kernels — the property the
+// executor hot loop depends on at fleet scale.
+func TestDispatchAllocs(t *testing.T) {
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		var fired int64
+		id := c.RegisterDispatcher(func(op uint8, a, b int64) { fired += a })
+		// Warm slab, ready heap, and wheel cursor.
+		for i := 0; i < 64; i++ {
+			c.AtOp(c.Now()+Time(i)*0.001, id, 0, 1, 0)
+		}
+		c.Run(0)
+		allocs := testing.AllocsPerRun(2000, func() {
+			c.AtOp(c.Now()+0.0005, id, 0, 1, 0)
+			if !c.Step() {
+				t.Fatal("no event to fire")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("dispatch path allocates %.1f objects/event, want 0", allocs)
+		}
+		if fired == 0 {
+			t.Fatal("dispatcher never ran")
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package vclock
+
+import "testing"
+
+// FuzzKernelEquivalence feeds random kernel-exercise scripts (see
+// runScript) to the wheel and heap kernels and fails on any observable
+// divergence: firing order, exact firing times, final clock state. The
+// heap kernel is the oracle — it is simple enough to trust by
+// inspection, so every behaviour the fuzzer locks in transfers to the
+// wheel.
+func FuzzKernelEquivalence(f *testing.F) {
+	// Seeds cover each opcode family: plain and spawning schedules,
+	// opcode dispatch, far-future overflow, cancels of both event kinds,
+	// advance windows, and the three drain modes.
+	f.Add([]byte{0, 10, 0, 0, 20, 0, 7, 0, 0})
+	f.Add([]byte{1, 1, 0, 1, 1, 0, 4, 0, 0, 7, 2, 0})
+	f.Add([]byte{2, 0xff, 0xff, 2, 1, 0, 5, 0, 0, 6, 0xff, 0})
+	f.Add([]byte{3, 0xff, 0xff, 3, 1, 0, 0, 5, 0, 4, 1, 0, 7, 1, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 7, 2, 0, 0, 0, 0})
+	f.Add([]byte{6, 64, 0, 2, 3, 0, 1, 9, 0, 5, 1, 0, 6, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return // bound per-input work; long scripts add no new structure
+		}
+		diffScripts(t, data)
+	})
+}

@@ -1,0 +1,96 @@
+package vclock
+
+// heapQueue is the binary-heap reference kernel: a classic d=2 heap of
+// slab indices ordered by (at, seq). Schedule and pop are O(log n);
+// cancel is an eager O(log n) removal through the event's tracked heap
+// position. It is deliberately simple — the wheel kernel is held to it
+// bit for bit by the differential suite.
+type heapQueue struct {
+	c *Clock
+	h []int32
+}
+
+func newHeapQueue(c *Clock) *heapQueue { return &heapQueue{c: c} }
+
+// less orders two slab events by (at, seq).
+func (q *heapQueue) less(a, b int32) bool {
+	ea, eb := &q.c.events[a], &q.c.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (q *heapQueue) swap(i, j int32) {
+	q.h[i], q.h[j] = q.h[j], q.h[i]
+	q.c.events[q.h[i]].pos = i
+	q.c.events[q.h[j]].pos = j
+}
+
+func (q *heapQueue) up(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(q.h[i], q.h[p]) {
+			break
+		}
+		q.swap(i, p)
+		i = p
+	}
+}
+
+func (q *heapQueue) down(i int32) {
+	n := int32(len(q.h))
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.less(q.h[r], q.h[l]) {
+			m = r
+		}
+		if !q.less(q.h[m], q.h[i]) {
+			return
+		}
+		q.swap(i, m)
+		i = m
+	}
+}
+
+func (q *heapQueue) push(idx int32) {
+	q.h = append(q.h, idx)
+	i := int32(len(q.h) - 1)
+	q.c.events[idx].pos = i
+	q.up(i)
+}
+
+func (q *heapQueue) next() int32 {
+	if len(q.h) == 0 {
+		return -1
+	}
+	return q.h[0]
+}
+
+func (q *heapQueue) pop(idx int32) {
+	q.removeAt(q.c.events[idx].pos)
+}
+
+func (q *heapQueue) cancel(idx int32) {
+	q.removeAt(q.c.events[idx].pos)
+	q.c.release(idx)
+}
+
+// removeAt deletes heap position i, restoring the heap property around
+// the displaced tail element.
+func (q *heapQueue) removeAt(i int32) {
+	n := int32(len(q.h)) - 1
+	last := q.h[n]
+	q.h = q.h[:n]
+	if i == n {
+		return
+	}
+	q.h[i] = last
+	q.c.events[last].pos = i
+	q.down(i)
+	q.up(i)
+}

@@ -3,17 +3,33 @@
 //
 // RubberBand's end-to-end experiments execute the real control plane —
 // scheduler, placement controller, cluster manager — against a simulated
-// cloud. Package vclock supplies the time substrate: an event heap ordered
-// by (time, sequence) so that ties break deterministically in scheduling
-// order, and a Run loop that advances virtual time to each event.
+// cloud. Package vclock supplies the time substrate: an event queue
+// ordered by (time, sequence) so that ties break deterministically in
+// scheduling order, and a Run loop that advances virtual time to each
+// event.
+//
+// Two interchangeable kernels implement the queue. New returns the
+// production kernel, a hierarchical timer wheel with O(1) schedule and
+// cancel, sized for fleet-scale runs holding millions of concurrent
+// events. NewHeap returns the original binary-heap kernel, kept as the
+// executable reference implementation: the differential kernel suite
+// runs every scenario on both and requires bit-identical behaviour.
+// Both kernels fire events in exactly (time, sequence) order, so a
+// program observes no difference beyond speed.
+//
+// Events are stored in a slab indexed by small integer handles; firing
+// an event performs no heap allocation. Callbacks come in two forms:
+// closures (At, After) for control-plane convenience, and pre-resolved
+// opcode dispatch (RegisterDispatcher, AtOp) for hot loops that must
+// not allocate per event — the dag.Program compilation pattern applied
+// to event scheduling.
 //
 // Virtual time is expressed in float64 seconds. The kernel is
-// single-threaded by design: callbacks run on the caller's goroutine, and
-// all state they touch needs no locking.
+// single-threaded by design: callbacks run on the caller's goroutine,
+// and all state they touch needs no locking.
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -36,72 +52,127 @@ func (t Time) String() string {
 	return fmt.Sprintf("%02d:%06.3f", m, s)
 }
 
-// event is a scheduled callback.
+// Event lifecycle states within the slab.
+const (
+	stateFree    uint8 = iota // slot on the free list
+	statePending              // scheduled, not yet fired or cancelled
+	stateDead                 // cancelled, awaiting lazy reclaim (wheel)
+)
+
+// Queue-location tags (wheel kernel bookkeeping).
+const (
+	whereNone   uint8 = iota
+	whereBucket       // linked into a wheel bucket
+	whereReady        // in the current-tick ready heap
+	whereOver         // parked on the overflow list
+)
+
+// event is one slab slot: a scheduled callback plus the intrusive
+// linkage both kernels use to order it. Slots are reused through a free
+// list; gen increments on every release so stale handles cannot cancel
+// a recycled slot.
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among simultaneous events
-	fn   func()
-	done bool // cancelled
-	idx  int  // heap index
+	at  Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  func() // closure payload (nil for opcode events)
+	a,
+	b int64 // opcode arguments
+	next    int32  // bucket chain / free-list link (-1 end)
+	prev    int32  // bucket back-link for O(1) unlink (-1 head)
+	pos     int32  // heap position (heap kernel)
+	disp    int32  // dispatcher id (-1 for closure events)
+	gen     uint32 // handle generation, bumped on release
+	slotRef uint16 // wheel bucket address: level*64+slot
+	op      uint8  // opcode
+	state   uint8
+	where   uint8
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
+// queue is the kernel contract: order pending slab events by (at, seq).
+// next may mutate internal structure (cascade wheel levels, reclaim
+// cancelled slots) but never observable ordering.
+type queue interface {
+	// push inserts a freshly scheduled pending event.
+	push(idx int32)
+	// next returns the earliest pending event, or -1 when none remain.
+	next() int32
+	// pop removes the event just returned by next (it is about to fire).
+	pop(idx int32)
+	// cancel removes a pending event; the slot may be reclaimed lazily.
+	cancel(idx int32)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Handle identifies a scheduled event without allocating. The zero
+// Handle is invalid. Handles stay safe across slot reuse: cancelling a
+// fired or already-cancelled event is a no-op returning false.
+type Handle struct {
+	ref int32 // slab index + 1; 0 = no event
+	gen uint32
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// Valid reports whether h refers to some scheduled event (it may have
+// fired since).
+func (h Handle) Valid() bool { return h.ref != 0 }
 
 // Timer is a handle to a scheduled event; Stop cancels it.
 type Timer struct {
 	c *Clock
-	e *event
+	h Handle
 }
 
-// Stop cancels the timer if it has not fired. It reports whether the timer
-// was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.done || t.e.idx < 0 {
+// Stop cancels the timer if it has not fired. It reports whether the
+// timer was still pending.
+func (t Timer) Stop() bool {
+	if t.c == nil {
 		return false
 	}
-	t.e.done = true
-	heap.Remove(&t.c.events, t.e.idx)
-	return true
+	return t.c.Cancel(t.h)
 }
 
-// Clock is a virtual clock with an event queue. The zero value is ready to
-// use at time 0.
+// Dispatcher is a pre-resolved opcode handler. Hot loops register one
+// dispatcher up front and schedule (opcode, args) events through AtOp;
+// firing such an event allocates nothing — no closure, no boxing.
+type Dispatcher func(op uint8, a, b int64)
+
+// DispatchID names a registered dispatcher on one clock.
+type DispatchID int32
+
+// Clock is a virtual clock with an event queue. The zero value is ready
+// to use at time 0 (it lazily initializes the default wheel kernel).
 type Clock struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now     Time
+	seq     uint64
+	pending int
+	events  []event
+	free    int32 // free-list head (-1 none)
+	disp    []Dispatcher
+	q       queue
 }
 
-// New returns a Clock at virtual time zero.
-func New() *Clock { return &Clock{} }
+// New returns a Clock at virtual time zero backed by the hierarchical
+// timer-wheel kernel.
+func New() *Clock {
+	c := &Clock{}
+	c.ensure()
+	return c
+}
+
+// NewHeap returns a Clock backed by the binary-heap reference kernel.
+// It is bit-identical in behaviour to New's wheel kernel and exists so
+// differential tests can hold the wheel to the simpler implementation.
+func NewHeap() *Clock {
+	c := &Clock{free: -1}
+	c.q = newHeapQueue(c)
+	return c
+}
+
+// ensure lazily initializes the default kernel so the zero Clock works.
+func (c *Clock) ensure() {
+	if c.q == nil {
+		c.free = -1
+		c.q = newWheelQueue(c)
+	}
+}
 
 // Now returns the current virtual time.
 func (c *Clock) Now() Time { return c.now }
@@ -111,48 +182,137 @@ func (c *Clock) Now() Time { return c.now }
 // so control-plane snapshots capture it as part of the clock state.
 func (c *Clock) Seq() uint64 { return c.seq }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// (before Now) panics — it would mean causality violation in the simulation.
-func (c *Clock) At(at Time, fn func()) *Timer {
-	if at < c.now {
-		panic(fmt.Sprintf("vclock: scheduling at %v before now %v", at, c.now))
-	}
-	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
-		panic(fmt.Sprintf("vclock: invalid time %v", at))
-	}
-	e := &event{at: at, seq: c.seq, fn: fn}
-	c.seq++
-	heap.Push(&c.events, e)
-	return &Timer{c: c, e: e}
+// Pending returns the number of events still queued.
+func (c *Clock) Pending() int { return c.pending }
+
+// RegisterDispatcher adds d to the clock's dispatch table and returns
+// its id for use with AtOp. Several components (one per executor job,
+// say) can register independently on a shared clock.
+func (c *Clock) RegisterDispatcher(d Dispatcher) DispatchID {
+	c.ensure()
+	c.disp = append(c.disp, d)
+	return DispatchID(len(c.disp) - 1)
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics — it would mean causality violation in the
+// simulation.
+func (c *Clock) At(at Time, fn func()) Timer {
+	h := c.schedule(at, fn, -1, 0, 0, 0)
+	return Timer{c: c, h: h}
 }
 
 // After schedules fn to run d seconds after the current time. Negative d
 // panics.
-func (c *Clock) After(d float64, fn func()) *Timer {
+func (c *Clock) After(d float64, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative delay %v", d))
 	}
 	return c.At(c.now+Time(d), fn)
 }
 
-// Pending returns the number of events still queued.
-func (c *Clock) Pending() int { return len(c.events) }
+// AtOp schedules an opcode event at absolute virtual time at: when it
+// fires, the registered dispatcher id receives (op, a, b). Unlike At,
+// AtOp allocates nothing — it is the scheduling half of the zero-alloc
+// dispatch path.
+//
+//rbvet:noalloc
+func (c *Clock) AtOp(at Time, id DispatchID, op uint8, a, b int64) Handle {
+	return c.schedule(at, nil, int32(id), op, a, b)
+}
 
-// Step pops and executes the earliest event, advancing Now to its time. It
-// reports whether an event was executed.
+// schedule validates, claims a slab slot, and enqueues.
+func (c *Clock) schedule(at Time, fn func(), disp int32, op uint8, a, b int64) Handle {
+	c.ensure()
+	if at < c.now {
+		panic(fmt.Sprintf("vclock: scheduling at %v before now %v", at, c.now))
+	}
+	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		panic(fmt.Sprintf("vclock: invalid time %v", at))
+	}
+	idx := c.alloc()
+	e := &c.events[idx]
+	e.at, e.seq = at, c.seq
+	e.fn, e.disp, e.op, e.a, e.b = fn, disp, op, a, b
+	e.next, e.prev, e.pos = -1, -1, -1
+	e.state, e.where = statePending, whereNone
+	c.seq++
+	c.pending++
+	c.q.push(idx)
+	return Handle{ref: idx + 1, gen: e.gen}
+}
+
+// alloc claims a slab slot from the free list, growing the slab when it
+// is exhausted.
+func (c *Clock) alloc() int32 {
+	if c.free >= 0 {
+		idx := c.free
+		c.free = c.events[idx].next
+		return idx
+	}
+	return c.grow()
+}
+
+// grow appends a fresh slab slot. Kept out of alloc so the steady-state
+// schedule path stays allocation-free once the slab has warmed up.
+func (c *Clock) grow() int32 {
+	c.events = append(c.events, event{})
+	return int32(len(c.events) - 1)
+}
+
+// release returns a slot to the free list and invalidates handles to it.
+func (c *Clock) release(idx int32) {
+	e := &c.events[idx]
+	e.fn = nil
+	e.state = stateFree
+	e.where = whereNone
+	e.gen++
+	e.next = c.free
+	c.free = idx
+}
+
+// Cancel cancels the event h refers to if it is still pending. It
+// reports whether the event was cancelled. O(1) on the wheel kernel.
+//
+//rbvet:noalloc
+func (c *Clock) Cancel(h Handle) bool {
+	idx := h.ref - 1
+	if idx < 0 || int(idx) >= len(c.events) {
+		return false
+	}
+	e := &c.events[idx]
+	if e.state != statePending || e.gen != h.gen {
+		return false
+	}
+	c.pending--
+	c.q.cancel(idx)
+	return true
+}
+
+// Step pops and executes the earliest event, advancing Now to its time.
+// It reports whether an event was executed.
 //
 //rbvet:noalloc
 func (c *Clock) Step() bool {
-	for len(c.events) > 0 {
-		e := heap.Pop(&c.events).(*event)
-		if e.done {
-			continue
-		}
-		c.now = e.at
-		e.fn()
-		return true
+	if c.q == nil {
+		return false
 	}
-	return false
+	idx := c.q.next()
+	if idx < 0 {
+		return false
+	}
+	c.q.pop(idx)
+	e := &c.events[idx]
+	c.now = e.at
+	fn, disp, op, a, b := e.fn, e.disp, e.op, e.a, e.b
+	c.release(idx)
+	c.pending--
+	if disp >= 0 {
+		c.disp[disp](op, a, b)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue drains or until virtual time would
@@ -161,14 +321,16 @@ func (c *Clock) Step() bool {
 //
 //rbvet:noalloc
 func (c *Clock) Run(horizon Time) int {
+	if c.q == nil {
+		return 0
+	}
 	n := 0
-	for len(c.events) > 0 {
-		next := c.events[0]
-		if next.done {
-			heap.Pop(&c.events)
-			continue
+	for {
+		idx := c.q.next()
+		if idx < 0 {
+			break
 		}
-		if horizon > 0 && next.at > horizon {
+		if horizon > 0 && c.events[idx].at > horizon {
 			break
 		}
 		c.Step()
@@ -177,9 +339,9 @@ func (c *Clock) Run(horizon Time) int {
 	return n
 }
 
-// RunUntil executes events while cond() remains false, stopping as soon as
-// cond() turns true (checked after each event) or the queue drains. It
-// reports whether cond was satisfied.
+// RunUntil executes events while cond() remains false, stopping as soon
+// as cond() turns true (checked after each event) or the queue drains.
+// It reports whether cond was satisfied.
 func (c *Clock) RunUntil(cond func() bool) bool {
 	if cond() {
 		return true
@@ -192,26 +354,25 @@ func (c *Clock) RunUntil(cond func() bool) bool {
 	return cond()
 }
 
-// Advance moves the clock forward by d seconds, executing any events that
-// fall within the window (including events at exactly the current time
-// when d is 0). It panics on negative d. Unlike Run, Advance is always
-// bounded — even at a target of 0 — so it is safe against self-renewing
-// event chains such as spot preemption with automatic replacement.
+// Advance moves the clock forward by d seconds, executing any events
+// that fall within the window (including events at exactly the current
+// time when d is 0). It panics on negative d. Unlike Run, Advance is
+// always bounded — even at a target of 0 — so it is safe against
+// self-renewing event chains such as spot preemption with automatic
+// replacement.
 func (c *Clock) Advance(d float64) {
 	if d < 0 {
 		panic("vclock: Advance with negative duration")
 	}
 	target := c.now + Time(d)
-	for len(c.events) > 0 {
-		next := c.events[0]
-		if next.done {
-			heap.Pop(&c.events)
-			continue
+	if c.q != nil {
+		for {
+			idx := c.q.next()
+			if idx < 0 || c.events[idx].at > target {
+				break
+			}
+			c.Step()
 		}
-		if next.at > target {
-			break
-		}
-		c.Step()
 	}
 	if c.now < target {
 		c.now = target

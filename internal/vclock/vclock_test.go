@@ -6,6 +6,25 @@ import (
 	"testing/quick"
 )
 
+// kernels enumerates the interchangeable queue implementations; almost
+// every test in this package runs once per kernel.
+var kernels = []struct {
+	name string
+	mk   func() *Clock
+}{
+	{"wheel", New},
+	{"heap", NewHeap},
+}
+
+// perKernel runs f as a subtest against each kernel constructor.
+func perKernel(t *testing.T, f func(t *testing.T, mk func() *Clock)) {
+	t.Helper()
+	for _, k := range kernels {
+		k := k
+		t.Run(k.name, func(t *testing.T) { f(t, k.mk) })
+	}
+}
+
 func TestZeroClock(t *testing.T) {
 	var c Clock
 	if c.Now() != 0 {
@@ -17,63 +36,71 @@ func TestZeroClock(t *testing.T) {
 }
 
 func TestEventOrdering(t *testing.T) {
-	c := New()
-	var order []int
-	c.At(3, func() { order = append(order, 3) })
-	c.At(1, func() { order = append(order, 1) })
-	c.At(2, func() { order = append(order, 2) })
-	c.Run(0)
-	want := []int{1, 2, 3}
-	for i, v := range want {
-		if order[i] != v {
-			t.Fatalf("order = %v, want %v", order, want)
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		var order []int
+		c.At(3, func() { order = append(order, 3) })
+		c.At(1, func() { order = append(order, 1) })
+		c.At(2, func() { order = append(order, 2) })
+		c.Run(0)
+		want := []int{1, 2, 3}
+		for i, v := range want {
+			if order[i] != v {
+				t.Fatalf("order = %v, want %v", order, want)
+			}
 		}
-	}
-	if c.Now() != 3 {
-		t.Fatalf("final time %v, want 3", c.Now())
-	}
+		if c.Now() != 3 {
+			t.Fatalf("final time %v, want 3", c.Now())
+		}
+	})
 }
 
 func TestSimultaneousEventsFIFO(t *testing.T) {
-	c := New()
-	var order []int
-	for i := 0; i < 10; i++ {
-		i := i
-		c.At(5, func() { order = append(order, i) })
-	}
-	c.Run(0)
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			c.At(5, func() { order = append(order, i) })
 		}
-	}
+		c.Run(0)
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("simultaneous events out of FIFO order: %v", order)
+			}
+		}
+	})
 }
 
 func TestAfter(t *testing.T) {
-	c := New()
-	c.At(10, func() {
-		c.After(5, func() {
-			if c.Now() != 15 {
-				t.Errorf("nested After fired at %v, want 15", c.Now())
-			}
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		c.At(10, func() {
+			c.After(5, func() {
+				if c.Now() != 15 {
+					t.Errorf("nested After fired at %v, want 15", c.Now())
+				}
+			})
 		})
+		c.Run(0)
+		if c.Now() != 15 {
+			t.Fatalf("final time %v, want 15", c.Now())
+		}
 	})
-	c.Run(0)
-	if c.Now() != 15 {
-		t.Fatalf("final time %v, want 15", c.Now())
-	}
 }
 
 func TestSchedulingInPastPanics(t *testing.T) {
-	c := New()
-	c.At(10, func() {})
-	c.Run(0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic scheduling in the past")
-		}
-	}()
-	c.At(5, func() {})
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		c.At(10, func() {})
+		c.Run(0)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic scheduling in the past")
+			}
+		}()
+		c.At(5, func() {})
+	})
 }
 
 func TestNegativeAfterPanics(t *testing.T) {
@@ -87,84 +114,163 @@ func TestNegativeAfterPanics(t *testing.T) {
 }
 
 func TestTimerStop(t *testing.T) {
-	c := New()
-	fired := false
-	timer := c.At(5, func() { fired = true })
-	if !timer.Stop() {
-		t.Fatal("Stop returned false for pending timer")
-	}
-	if timer.Stop() {
-		t.Fatal("second Stop returned true")
-	}
-	c.Run(0)
-	if fired {
-		t.Fatal("stopped timer fired")
-	}
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		fired := false
+		timer := c.At(5, func() { fired = true })
+		if !timer.Stop() {
+			t.Fatal("Stop returned false for pending timer")
+		}
+		if timer.Stop() {
+			t.Fatal("second Stop returned true")
+		}
+		c.Run(0)
+		if fired {
+			t.Fatal("stopped timer fired")
+		}
+	})
 }
 
 func TestTimerStopAfterFire(t *testing.T) {
-	c := New()
-	timer := c.At(1, func() {})
-	c.Run(0)
-	if timer.Stop() {
-		t.Fatal("Stop after fire returned true")
-	}
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		timer := c.At(1, func() {})
+		c.Run(0)
+		if timer.Stop() {
+			t.Fatal("Stop after fire returned true")
+		}
+	})
+}
+
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	// A handle to a fired event must stay dead even after its slab slot is
+	// recycled for a new event: the generation counter, not the index,
+	// carries identity.
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		old := c.At(1, func() {})
+		c.Run(0)
+		fired := false
+		c.At(2, func() { fired = true }) // reuses the freed slot
+		if old.Stop() {
+			t.Fatal("stale handle cancelled a recycled slot")
+		}
+		c.Run(0)
+		if !fired {
+			t.Fatal("recycled event did not fire")
+		}
+	})
 }
 
 func TestRunHorizon(t *testing.T) {
-	c := New()
-	var fired []Time
-	for _, at := range []Time{1, 2, 3, 4, 5} {
-		at := at
-		c.At(at, func() { fired = append(fired, at) })
-	}
-	n := c.Run(3)
-	if n != 3 {
-		t.Fatalf("Run(3) executed %d events, want 3", n)
-	}
-	if len(fired) != 3 || fired[2] != 3 {
-		t.Fatalf("fired = %v", fired)
-	}
-	if c.Pending() != 2 {
-		t.Fatalf("pending = %d, want 2", c.Pending())
-	}
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		var fired []Time
+		for _, at := range []Time{1, 2, 3, 4, 5} {
+			at := at
+			c.At(at, func() { fired = append(fired, at) })
+		}
+		n := c.Run(3)
+		if n != 3 {
+			t.Fatalf("Run(3) executed %d events, want 3", n)
+		}
+		if len(fired) != 3 || fired[2] != 3 {
+			t.Fatalf("fired = %v", fired)
+		}
+		if c.Pending() != 2 {
+			t.Fatalf("pending = %d, want 2", c.Pending())
+		}
+	})
 }
 
 func TestRunUntil(t *testing.T) {
-	c := New()
-	count := 0
-	for i := 1; i <= 10; i++ {
-		c.At(Time(i), func() { count++ })
-	}
-	ok := c.RunUntil(func() bool { return count >= 4 })
-	if !ok {
-		t.Fatal("RunUntil reported failure")
-	}
-	if count != 4 {
-		t.Fatalf("count = %d, want 4", count)
-	}
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		count := 0
+		for i := 1; i <= 10; i++ {
+			c.At(Time(i), func() { count++ })
+		}
+		ok := c.RunUntil(func() bool { return count >= 4 })
+		if !ok {
+			t.Fatal("RunUntil reported failure")
+		}
+		if count != 4 {
+			t.Fatalf("count = %d, want 4", count)
+		}
+	})
 }
 
 func TestRunUntilExhausted(t *testing.T) {
-	c := New()
-	c.At(1, func() {})
-	if c.RunUntil(func() bool { return false }) {
-		t.Fatal("RunUntil true with unsatisfiable condition")
-	}
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		c.At(1, func() {})
+		if c.RunUntil(func() bool { return false }) {
+			t.Fatal("RunUntil true with unsatisfiable condition")
+		}
+	})
 }
 
 func TestAdvance(t *testing.T) {
-	c := New()
-	fired := false
-	c.At(5, func() { fired = true })
-	c.Advance(3)
-	if fired || c.Now() != 3 {
-		t.Fatalf("after Advance(3): fired=%v now=%v", fired, c.Now())
-	}
-	c.Advance(3)
-	if !fired || c.Now() != 6 {
-		t.Fatalf("after Advance(6): fired=%v now=%v", fired, c.Now())
-	}
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		fired := false
+		c.At(5, func() { fired = true })
+		c.Advance(3)
+		if fired || c.Now() != 3 {
+			t.Fatalf("after Advance(3): fired=%v now=%v", fired, c.Now())
+		}
+		c.Advance(3)
+		if !fired || c.Now() != 6 {
+			t.Fatalf("after Advance(6): fired=%v now=%v", fired, c.Now())
+		}
+	})
+}
+
+func TestOpcodeDispatch(t *testing.T) {
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		type call struct {
+			op   uint8
+			a, b int64
+			at   Time
+		}
+		var got []call
+		id := c.RegisterDispatcher(func(op uint8, a, b int64) {
+			got = append(got, call{op, a, b, c.Now()})
+		})
+		c.AtOp(2, id, 7, 10, 20)
+		c.AtOp(1, id, 3, 30, 40)
+		c.Run(0)
+		want := []call{{3, 30, 40, 1}, {7, 10, 20, 2}}
+		if len(got) != len(want) {
+			t.Fatalf("got %d calls, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("call %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestOpcodeCancel(t *testing.T) {
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		fired := 0
+		id := c.RegisterDispatcher(func(op uint8, a, b int64) { fired++ })
+		h := c.AtOp(5, id, 1, 0, 0)
+		c.AtOp(6, id, 2, 0, 0)
+		if !c.Cancel(h) {
+			t.Fatal("Cancel returned false for pending opcode event")
+		}
+		if c.Cancel(h) {
+			t.Fatal("second Cancel returned true")
+		}
+		c.Run(0)
+		if fired != 1 {
+			t.Fatalf("fired = %d, want 1", fired)
+		}
+	})
 }
 
 func TestTimeString(t *testing.T) {
@@ -183,44 +289,48 @@ func TestTimeDuration(t *testing.T) {
 // Property: events always fire in non-decreasing time order regardless of
 // insertion order.
 func TestQuickEventsFireInOrder(t *testing.T) {
-	f := func(times []uint16) bool {
-		c := New()
-		var fired []Time
-		for _, raw := range times {
-			at := Time(raw)
-			c.At(at, func() { fired = append(fired, at) })
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		f := func(times []uint16) bool {
+			c := mk()
+			var fired []Time
+			for _, raw := range times {
+				at := Time(raw)
+				c.At(at, func() { fired = append(fired, at) })
+			}
+			c.Run(0)
+			if len(fired) != len(times) {
+				return false
+			}
+			return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
 		}
-		c.Run(0)
-		if len(fired) != len(times) {
-			return false
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
 		}
-		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
-	}
+	})
 }
 
 // Property: Now never decreases across any sequence of events.
 func TestQuickMonotoneClock(t *testing.T) {
-	f := func(times []uint16) bool {
-		c := New()
-		last := Time(-1)
-		ok := true
-		for _, raw := range times {
-			c.At(Time(raw), func() {
-				if c.Now() < last {
-					ok = false
-				}
-				last = c.Now()
-			})
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		f := func(times []uint16) bool {
+			c := mk()
+			last := Time(-1)
+			ok := true
+			for _, raw := range times {
+				c.At(Time(raw), func() {
+					if c.Now() < last {
+						ok = false
+					}
+					last = c.Now()
+				})
+			}
+			c.Run(0)
+			return ok
 		}
-		c.Run(0)
-		return ok
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
-	}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
 }
 
 func TestAdvanceZeroIsBounded(t *testing.T) {
@@ -228,24 +338,26 @@ func TestAdvanceZeroIsBounded(t *testing.T) {
 	// stop — it must not degenerate into an unbounded Run(0) when a
 	// callback chain keeps scheduling future events (e.g. spot preemption
 	// with automatic replacement).
-	c := New()
-	var rearm func()
-	fired := 0
-	rearm = func() {
-		fired++
-		c.After(1, rearm) // self-renewing future event
-	}
-	c.At(0, rearm)
-	c.At(0, func() { fired += 100 })
-	c.Advance(0)
-	if fired != 101 {
-		t.Fatalf("fired = %d, want exactly the t=0 events", fired)
-	}
-	if c.Now() != 0 {
-		t.Fatalf("now = %v", c.Now())
-	}
-	// The future chain is still pending, untouched.
-	if c.Pending() == 0 {
-		t.Fatal("future event dropped")
-	}
+	perKernel(t, func(t *testing.T, mk func() *Clock) {
+		c := mk()
+		var rearm func()
+		fired := 0
+		rearm = func() {
+			fired++
+			c.After(1, rearm) // self-renewing future event
+		}
+		c.At(0, rearm)
+		c.At(0, func() { fired += 100 })
+		c.Advance(0)
+		if fired != 101 {
+			t.Fatalf("fired = %d, want exactly the t=0 events", fired)
+		}
+		if c.Now() != 0 {
+			t.Fatalf("now = %v", c.Now())
+		}
+		// The future chain is still pending, untouched.
+		if c.Pending() == 0 {
+			t.Fatal("future event dropped")
+		}
+	})
 }

@@ -1,0 +1,374 @@
+package vclock
+
+import "math/bits"
+
+// wheelQueue is the production kernel: a hierarchical timer wheel sized
+// for fleet-scale simulations (10^6+ concurrent events).
+//
+// Geometry. Virtual time quantizes to integer ticks of 2^-20 s (~1 µs);
+// the wheel has 6 levels of 64 slots, level l covering 64^(l+1) ticks,
+// so the levels together span 64^6 ticks ≈ 18 virtual hours ahead of
+// the cursor. Events beyond that park on an overflow list and are
+// pulled in when the wheel runs dry. Scheduling indexes the level by
+// the highest bit in which the event's tick differs from the cursor
+// (the radix-tree formulation), so an event never lands in the coarse
+// slot the cursor currently occupies, and each cascade strictly refines
+// it toward level 0.
+//
+// Determinism. Tick quantization is monotone, so tick order never
+// contradicts time order; all events of the current tick (and any
+// cascade residue at or before it) sit in a small binary heap ordered
+// by exact (at, seq) — the same total order as the reference heap
+// kernel, which is why the two kernels are bit-identical. Buckets
+// themselves are unordered doubly-linked lists: order is only imposed
+// when a bucket drains into the ready heap.
+//
+// Complexity. Schedule is O(1); cancel of a bucketed event unlinks in
+// O(1) (events already in the ready heap or overflow die lazily);
+// firing is O(log k) in the number of same-tick events, plus amortized
+// O(levels) cascade work.
+type wheelQueue struct {
+	c   *Clock
+	cur uint64 // tick cursor: every bucketed event has tick > cur
+	// occ bitmaps mirror bucket occupancy for O(1) next-slot scans.
+	occ    [wheelLevels]uint64
+	bucket [wheelLevels][wheelSlots]int32
+	// ready holds events with tick <= cur as a binary heap ordered by
+	// exact (at, seq); its top is the globally earliest pending event.
+	ready []int32
+	// over parks events beyond the wheel span.
+	over []int32
+	// held counts slab slots this queue owns (pending + cancelled but
+	// not yet reclaimed), for the empty fast path.
+	held int
+}
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64
+	wheelLevels = 6              // 64^6 ticks ≈ 18h of virtual time
+	tickShift   = 20             // 2^20 ticks per virtual second
+	tickHz      = float64(uint64(1) << tickShift)
+)
+
+// maxTick saturates far-future tick conversions; ordering within a tick
+// still uses exact (at, seq), so saturation cannot reorder events.
+const maxTick = uint64(1) << 62
+
+// tickOf quantizes a virtual time to its wheel tick. Monotone: at1 <=
+// at2 implies tickOf(at1) <= tickOf(at2).
+func tickOf(at Time) uint64 {
+	f := float64(at) * tickHz
+	if f >= float64(maxTick) {
+		return maxTick
+	}
+	return uint64(f)
+}
+
+func newWheelQueue(c *Clock) *wheelQueue {
+	q := &wheelQueue{c: c}
+	for l := range q.bucket {
+		for s := range q.bucket[l] {
+			q.bucket[l][s] = -1
+		}
+	}
+	return q
+}
+
+// push inserts a freshly scheduled event. O(1).
+//
+//rbvet:noalloc
+func (q *wheelQueue) push(idx int32) {
+	if q.held == 0 {
+		// Queue empty: snap the cursor forward to the present so a long
+		// idle gap does not force the new event through every level.
+		if t := tickOf(q.c.now); t > q.cur {
+			q.cur = t
+		}
+	}
+	q.held++
+	q.place(idx)
+}
+
+// place routes a pending event relative to the cursor: ready heap for
+// the current tick, a wheel bucket within the span, overflow beyond it.
+// It performs no accounting — push and cascade both go through it.
+//
+//rbvet:noalloc
+func (q *wheelQueue) place(idx int32) {
+	e := &q.c.events[idx]
+	t := tickOf(e.at)
+	if t <= q.cur {
+		q.readyPush(idx)
+		return
+	}
+	lvl := (bits.Len64(t^q.cur) - 1) / wheelBits
+	if lvl >= wheelLevels {
+		q.pushOverflow(idx)
+		return
+	}
+	slot := (t >> (uint(lvl) * wheelBits)) & (wheelSlots - 1)
+	e.where = whereBucket
+	e.slotRef = uint16(lvl*wheelSlots + int(slot))
+	e.prev = -1
+	e.next = q.bucket[lvl][slot]
+	if e.next >= 0 {
+		q.c.events[e.next].prev = idx
+	}
+	q.bucket[lvl][slot] = idx
+	q.occ[lvl] |= 1 << slot
+}
+
+// pushOverflow parks an event beyond the wheel span. Rare; kept out of
+// the noalloc-gated paths because append may grow the slice.
+func (q *wheelQueue) pushOverflow(idx int32) {
+	q.c.events[idx].where = whereOver
+	q.over = append(q.over, idx)
+}
+
+// next returns the earliest pending event, reclaiming any cancelled
+// slots it uncovers and advancing the cursor as needed.
+//
+//rbvet:noalloc
+func (q *wheelQueue) next() int32 {
+	for {
+		for len(q.ready) > 0 {
+			top := q.ready[0]
+			if q.c.events[top].state == statePending {
+				return top
+			}
+			// Cancelled while queued in the ready heap: reclaim lazily.
+			q.readyPop()
+			q.held--
+			q.c.release(top)
+		}
+		if !q.refill() {
+			return -1
+		}
+	}
+}
+
+// pop removes the event next just returned (it is about to fire).
+//
+//rbvet:noalloc
+func (q *wheelQueue) pop(idx int32) {
+	// Contract: Step pops exactly the event next returned, which sits at
+	// the top of the ready heap.
+	_ = idx
+	q.readyPop()
+	q.held--
+}
+
+// cancel removes a pending event. Bucketed events unlink eagerly in
+// O(1) and release their slot; events already in the ready heap or the
+// overflow list are marked dead and reclaimed when next encounters
+// them.
+//
+//rbvet:noalloc
+func (q *wheelQueue) cancel(idx int32) {
+	e := &q.c.events[idx]
+	if e.where == whereBucket {
+		q.unlink(idx)
+		q.held--
+		q.c.release(idx)
+		return
+	}
+	e.state = stateDead
+}
+
+// unlink removes a bucketed event from its doubly-linked bucket list,
+// clearing the occupancy bit when the bucket empties.
+//
+//rbvet:noalloc
+func (q *wheelQueue) unlink(idx int32) {
+	e := &q.c.events[idx]
+	lvl, slot := int(e.slotRef)/wheelSlots, int(e.slotRef)%wheelSlots
+	if e.prev >= 0 {
+		q.c.events[e.prev].next = e.next
+	} else {
+		q.bucket[lvl][slot] = e.next
+		if e.next < 0 {
+			q.occ[lvl] &^= 1 << uint(slot)
+		}
+	}
+	if e.next >= 0 {
+		q.c.events[e.next].prev = e.prev
+	}
+	e.next, e.prev, e.where = -1, -1, whereNone
+}
+
+// refill advances the cursor to the next occupied bucket, cascading
+// coarse levels down until level 0 drains into the ready heap. It
+// reports whether it made progress (the caller loops; false means the
+// queue is truly empty).
+//
+//rbvet:noalloc
+func (q *wheelQueue) refill() bool {
+	for {
+		if len(q.ready) > 0 {
+			return true
+		}
+		advanced := false
+		for lvl := 0; lvl < wheelLevels; lvl++ {
+			shift := uint(lvl) * wheelBits
+			pos := (q.cur >> shift) & (wheelSlots - 1)
+			// Slots below pos at this level belong to the next wrap and
+			// are reachable only through a higher-level cascade.
+			m := q.occ[lvl] >> pos << pos
+			if m == 0 {
+				continue
+			}
+			slot := uint64(bits.TrailingZeros64(m))
+			if lvl == 0 {
+				// Level-0 slots hold exactly one tick: advance the cursor
+				// to it and move the bucket into the ready heap.
+				q.cur = (q.cur &^ (wheelSlots - 1)) | slot
+				q.drain(0, int(slot))
+			} else {
+				// Coarse slot: jump the cursor to the slot's first tick and
+				// cascade its events down (place refines each toward level
+				// 0; events at exactly the new cursor tick land in ready).
+				width := uint64(1)<<(shift+wheelBits) - 1
+				q.cur = (q.cur &^ width) | (slot << shift)
+				q.drain(lvl, int(slot))
+			}
+			advanced = true
+			break
+		}
+		if advanced {
+			continue
+		}
+		if len(q.over) == 0 {
+			return false
+		}
+		if !q.pullOverflow() {
+			return false
+		}
+	}
+}
+
+// drain empties bucket (lvl, slot): cancelled events are reclaimed,
+// level-0 events enter the ready heap, and coarse-level events cascade
+// back through place.
+//
+//rbvet:noalloc
+func (q *wheelQueue) drain(lvl, slot int) {
+	idx := q.bucket[lvl][slot]
+	q.bucket[lvl][slot] = -1
+	q.occ[lvl] &^= 1 << uint(slot)
+	for idx >= 0 {
+		e := &q.c.events[idx]
+		nxt := e.next
+		e.next, e.prev, e.where = -1, -1, whereNone
+		switch {
+		case e.state != statePending:
+			q.held--
+			q.c.release(idx)
+		case lvl == 0:
+			q.readyPush(idx)
+		default:
+			q.place(idx)
+		}
+		idx = nxt
+	}
+}
+
+// pullOverflow jumps the cursor to the earliest overflowed event and
+// re-places the whole overflow list (still-far events park again). It
+// reports whether any pending event survived. Only reached when the
+// wheel itself is empty, so the cursor jump is safe.
+func (q *wheelQueue) pullOverflow() bool {
+	old := q.over
+	q.over = nil
+	minT := ^uint64(0)
+	n := 0
+	for _, idx := range old {
+		e := &q.c.events[idx]
+		if e.state != statePending {
+			q.held--
+			q.c.release(idx)
+			continue
+		}
+		old[n] = idx
+		n++
+		if t := tickOf(e.at); t < minT {
+			minT = t
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	if minT > q.cur {
+		q.cur = minT
+	}
+	for _, idx := range old[:n] {
+		q.place(idx)
+	}
+	return true
+}
+
+// readyLess orders ready-heap entries by exact (at, seq) — the kernel's
+// total firing order.
+//
+//rbvet:noalloc
+func (q *wheelQueue) readyLess(a, b int32) bool {
+	ea, eb := &q.c.events[a], &q.c.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// readyPush inserts into the current-tick heap. O(log k).
+//
+//rbvet:noalloc
+func (q *wheelQueue) readyPush(idx int32) {
+	if len(q.ready) == cap(q.ready) {
+		q.growReady()
+	}
+	q.ready = q.ready[:len(q.ready)+1]
+	i := len(q.ready) - 1
+	q.ready[i] = idx
+	q.c.events[idx].where = whereReady
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.readyLess(q.ready[i], q.ready[p]) {
+			break
+		}
+		q.ready[i], q.ready[p] = q.ready[p], q.ready[i]
+		i = p
+	}
+}
+
+// growReady grows the ready heap's capacity; split out so the gated
+// push path itself performs no allocation in steady state.
+func (q *wheelQueue) growReady() {
+	grown := append(q.ready, 0)
+	q.ready = grown[:len(q.ready)]
+}
+
+// readyPop removes the heap top. O(log k).
+//
+//rbvet:noalloc
+func (q *wheelQueue) readyPop() {
+	q.c.events[q.ready[0]].where = whereNone
+	n := len(q.ready) - 1
+	q.ready[0] = q.ready[n]
+	q.ready = q.ready[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.readyLess(q.ready[r], q.ready[l]) {
+			m = r
+		}
+		if !q.readyLess(q.ready[m], q.ready[i]) {
+			return
+		}
+		q.ready[i], q.ready[m] = q.ready[m], q.ready[i]
+		i = m
+	}
+}
