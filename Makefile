@@ -73,12 +73,15 @@ record:
 bench:
 	go test -bench=. -benchmem
 
-# Planning hot-path benchmark: sim.Estimate and planner.PlanElastic at
-# samples {20,100} under both estimator modes, workers=1. Emits
-# BENCH_plan.json; the human-readable record lives in
-# results/estimator_bench.md.
+# Planning hot-path benchmark: sim.Estimate, planner.PlanElastic and the
+# replanning decision at samples {20,100} under all three estimator
+# modes, workers=1, plus the analytic fast-path rows (plan_frontier,
+# replan_prescreen). Rewrites BENCH_plan.json and fails if any warm
+# plan_elastic row regressed more than 25% against the committed
+# baseline; the human-readable record lives in
+# results/analytic_bench.md and results/estimator_bench.md.
 bench-plan:
-	go run ./cmd/rbbench -out BENCH_plan.json
+	go run ./cmd/rbbench -baseline BENCH_plan.json -out BENCH_plan.json
 
 # Simulation-kernel scale benchmark: a 10^6-concurrent-trial fleet on
 # the timer wheel (events/sec, trials held, allocs/event — the dispatch

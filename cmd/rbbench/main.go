@@ -7,14 +7,22 @@
 // planner.PlanElastic (a full greedy compilation on a fresh planner and,
 // separately, on a fresh simulator) and replan.Controller.Replan (one
 // warm online replanning decision: profile refit + tail re-plan + splice)
-// at Monte-Carlo sample counts 20 and 100, under both estimator modes, at
-// workers=1 — the configuration the repository's speedup claims are
-// stated against.
+// at Monte-Carlo sample counts 20 and 100, under all three estimator
+// modes, at workers=1 — the configuration the repository's speedup
+// claims are stated against. Two mode-independent rows cover the
+// analytic fast path on its own: plan_frontier (batch-scoring a
+// 128-candidate frontier through the moment-propagation evaluator) and
+// replan_prescreen (one read-only analytic drift screen).
+//
+// With -baseline, rbbench additionally loads a previous result file and
+// exits nonzero if any warm plan_elastic row regressed by more than
+// -regression (default 25%) — the `make bench-plan` gate.
 //
 // Usage:
 //
-//	rbbench -out BENCH_plan.json            # full run
+//	rbbench -out BENCH_plan.json                         # full run
 //	rbbench -benchtime 100ms -out /dev/stdout
+//	rbbench -baseline BENCH_plan.json -out BENCH_plan.json
 package main
 
 import (
@@ -39,11 +47,14 @@ import (
 type Result struct {
 	// Name identifies the benchmark: estimate, plan_elastic (fresh
 	// planner, shared simulator), plan_elastic_cold (fresh simulator per
-	// iteration) or replan (one warm online replanning decision).
+	// iteration), replan (one warm online replanning decision),
+	// plan_frontier (one analytic batch-score of a 128-candidate
+	// frontier) or replan_prescreen (one read-only analytic drift
+	// screen).
 	Name string `json:"name"`
 	// Samples is the simulator's Monte-Carlo sample count.
 	Samples int `json:"samples"`
-	// Estimator is the mode ("segment" or "full").
+	// Estimator is the mode ("segment", "full" or "analytic").
 	Estimator string `json:"estimator"`
 	// Workers is the Monte-Carlo worker bound (always 1 here).
 	Workers int `json:"workers"`
@@ -118,16 +129,68 @@ func measure(name string, samples int, mode sim.EstimatorMode, fn func(b *testin
 	}
 }
 
-func run(benchtime time.Duration, out string) error {
+// loadBaseline reads a previous result file; a missing file is not an
+// error (first run), it just disables the regression gate.
+func loadBaseline(path string) ([]Result, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// checkRegression compares warm plan_elastic rows against the baseline
+// and reports every row whose ns/op grew by more than limit (a fraction:
+// 0.25 means +25%). Rows absent from the baseline — newly added modes —
+// are skipped.
+func checkRegression(baseline, current []Result, limit float64) []string {
+	type key struct {
+		name, est string
+		samples   int
+	}
+	base := make(map[key]Result, len(baseline))
+	for _, r := range baseline {
+		base[key{r.Name, r.Estimator, r.Samples}] = r
+	}
+	var bad []string
+	for _, r := range current {
+		if r.Name != "plan_elastic" {
+			continue
+		}
+		b, ok := base[key{r.Name, r.Estimator, r.Samples}]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if r.NsPerOp > (1+limit)*b.NsPerOp {
+			bad = append(bad, fmt.Sprintf("%s samples=%d estimator=%s: %.0f ns/op vs baseline %.0f (+%.0f%%, limit +%.0f%%)",
+				r.Name, r.Samples, r.Estimator, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*limit))
+		}
+	}
+	return bad
+}
+
+func run(benchtime time.Duration, out, baseline string, regression float64) error {
 	// testing.Benchmark sizes runs off the -test.benchtime flag; set it
 	// explicitly so rbbench behaves the same outside `go test`.
 	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
 		return err
 	}
 
+	base, err := loadBaseline(baseline)
+	if err != nil {
+		return err
+	}
+
 	var results []Result
 	for _, samples := range []int{20, 100} {
-		for _, mode := range []sim.EstimatorMode{sim.EstimatorSegment, sim.EstimatorFull} {
+		for _, mode := range []sim.EstimatorMode{sim.EstimatorSegment, sim.EstimatorFull, sim.EstimatorAnalytic} {
 			sm, err := newSimulator(samples, mode)
 			if err != nil {
 				return err
@@ -185,16 +248,77 @@ func run(benchtime time.Duration, out string) error {
 		}
 	}
 
+	// The analytic fast path on its own: one batch-score of a whole
+	// 128-candidate frontier (the planner's phase-one workload), and one
+	// read-only replan pre-screen (refit + stale-tail rescore + analytic
+	// mini-plan). Both are sample-count independent; the row records the
+	// simulator's nominal budget.
+	{
+		const frontier = 128
+		sm, err := newSimulator(20, sim.EstimatorAnalytic)
+		if err != nil {
+			return err
+		}
+		plans := make([]sim.Plan, frontier)
+		for g := 1; g <= frontier; g++ {
+			plans[g-1] = sim.Uniform(g, sm.Spec().NumStages())
+		}
+		eval := sm.NewAnalyticEval()
+		ests := make([]sim.Estimate, frontier)
+		oks := make([]bool, frontier)
+		if err := eval.EstimateBatch(plans, ests, oks); err != nil { // warm caches
+			return err
+		}
+		results = append(results, measure("plan_frontier", 20, sim.EstimatorAnalytic, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := eval.EstimateBatch(plans, ests, oks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+		ctl, state, err := newController(20, sim.EstimatorAnalytic)
+		if err != nil {
+			return err
+		}
+		if _, err := ctl.PreScreen(state); err != nil {
+			return err
+		}
+		results = append(results, measure("replan_prescreen", 20, sim.EstimatorAnalytic, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ctl.PreScreen(state); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		fmt.Fprintln(os.Stderr, "rbbench: analytic fast-path rows done")
+	}
+
 	enc, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
 	}
 	enc = append(enc, '\n')
 	if out == "-" || out == "/dev/stdout" {
-		_, err = os.Stdout.Write(enc)
+		if _, err := os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(out, enc, 0o644)
+
+	if bad := checkRegression(base, results, regression); len(bad) > 0 {
+		for _, line := range bad {
+			fmt.Fprintln(os.Stderr, "rbbench: REGRESSION:", line)
+		}
+		return fmt.Errorf("%d warm planning regression(s) beyond the %.0f%% limit", len(bad), 100*regression)
+	}
+	if baseline != "" && len(base) > 0 {
+		fmt.Fprintf(os.Stderr, "rbbench: no warm planning regression beyond %.0f%% vs %s\n", 100*regression, baseline)
+	}
+	return nil
 }
 
 func main() {
@@ -202,11 +326,13 @@ func main() {
 	// before flag.Parse touches it.
 	testing.Init()
 	var (
-		out       = flag.String("out", "BENCH_plan.json", "output path for the JSON results (- for stdout)")
-		benchtime = flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+		out        = flag.String("out", "BENCH_plan.json", "output path for the JSON results (- for stdout)")
+		benchtime  = flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+		baseline   = flag.String("baseline", "", "previous result file to gate warm planning regressions against (missing file disables the gate)")
+		regression = flag.Float64("regression", 0.25, "relative warm plan_elastic slowdown vs -baseline that fails the run")
 	)
 	flag.Parse()
-	if err := run(*benchtime, *out); err != nil {
+	if err := run(*benchtime, *out, *baseline, *regression); err != nil {
 		fmt.Fprintln(os.Stderr, "rbbench:", err)
 		os.Exit(1)
 	}

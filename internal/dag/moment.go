@@ -1,0 +1,411 @@
+package dag
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file is the analytic counterpart of SampleInto: one linear pass
+// over a compiled Program that propagates (mean, variance) pairs instead
+// of Monte-Carlo draws. The pass is exact for deterministic latencies and
+// moment-matched (Clark maxima + quantile-sketch gang barriers)
+// otherwise; internal/sim validates it against the sampling estimators to
+// statistical tolerance.
+//
+// Correlation through shared history is the crux: two nodes that both
+// descend from the same fork share that prefix of their finish times, and
+// treating their finishes as independent in a later max double-counts the
+// prefix variance. The pass therefore represents every finish time as
+//
+//	F(i) = B(barID(i)) + rel(i)
+//
+// where B is a *barrier* — a random variable shared by a whole sibling
+// group — and rel is the part independent of the barrier and of the other
+// siblings' rels. Barriers form a tree (each created as parent + an
+// independent delta), which gives the two operations maxima need:
+// lifting a finish to an ancestor barrier (subtracting the independent
+// prefix) and dominance pruning (a dep whose finish became a barrier on
+// another dep's path is ≤ that dep almost surely, given non-negative
+// latencies, and drops out of the max).
+
+// MomentScratch is the reusable state of one moment-propagation pass.
+// The zero value is ready to use; buffers grow on first use and are
+// reused afterwards, so steady-state passes allocate nothing. A scratch
+// is owned by one goroutine at a time.
+type MomentScratch struct {
+	// Per-node: the barrier decomposition and each node's latency moment.
+	barID    []int32
+	promoted []int32 // barrier made from this node's finish, -1 if none
+	rel      []stats.Moment
+	lat      []stats.Moment
+	// The barrier tree. barAbs is the absolute moment (sum of deltas from
+	// the root), barStamp the path-marking generation used by dominance
+	// pruning. Barrier 0 is time zero.
+	barParent []int32
+	barAbs    []stats.Moment
+	barDepth  []int32
+	barStamp  []int32
+	nBar      int
+	gen       int32
+	// items is the max-over-deps grouping scratch; prev* memoize the last
+	// fork barrier so consecutive siblings with identical dep ranges share
+	// their start barrier (which is what keeps a later max over those
+	// siblings from double-counting the fork variance).
+	items          []stats.Moment
+	prevLo, prevHi int32
+	prevBar        int32
+	makespanM      stats.Moment
+	n              int
+}
+
+// reset sizes the scratch for an n-node program and clears the pass
+// state. The barrier arrays hold at most 2n+1 entries: one root, at most
+// one promotion per node, at most one fork barrier per node.
+//
+//rbvet:noalloc
+func (sc *MomentScratch) reset(n int) {
+	if cap(sc.barID) < n {
+		//rbvet:ignore noalloc — cold path: runs once per program size; steady-state passes reuse the buffers
+		sc.barID = make([]int32, n)
+		//rbvet:ignore noalloc — cold path (see above)
+		sc.promoted = make([]int32, n)
+		//rbvet:ignore noalloc — cold path (see above)
+		sc.rel = make([]stats.Moment, n)
+		//rbvet:ignore noalloc — cold path (see above)
+		sc.lat = make([]stats.Moment, n)
+		//rbvet:ignore noalloc — cold path (see above)
+		sc.barParent = make([]int32, 2*n+1)
+		//rbvet:ignore noalloc — cold path (see above)
+		sc.barAbs = make([]stats.Moment, 2*n+1)
+		//rbvet:ignore noalloc — cold path (see above)
+		sc.barDepth = make([]int32, 2*n+1)
+		//rbvet:ignore noalloc — cold path (see above)
+		sc.barStamp = make([]int32, 2*n+1)
+		//rbvet:ignore noalloc — cold path (see above)
+		sc.items = make([]stats.Moment, 0, n)
+	}
+	sc.barID = sc.barID[:n]
+	sc.promoted = sc.promoted[:n]
+	sc.rel = sc.rel[:n]
+	sc.lat = sc.lat[:n]
+	sc.n = n
+	for i := range sc.promoted {
+		sc.promoted[i] = -1
+	}
+	sc.barParent[0] = -1
+	sc.barAbs[0] = stats.Moment{}
+	sc.barDepth[0] = 0
+	sc.barStamp[0] = 0
+	sc.nBar = 1
+	sc.prevBar = -1
+	sc.makespanM = stats.Moment{}
+}
+
+// newBarrier appends a barrier with the given parent and independent
+// delta and returns its id.
+func (sc *MomentScratch) newBarrier(parent int32, delta stats.Moment) int32 {
+	b := int32(sc.nBar)
+	sc.barParent[b] = parent
+	sc.barAbs[b] = sc.barAbs[parent].AddIndep(delta)
+	sc.barDepth[b] = sc.barDepth[parent] + 1
+	sc.barStamp[b] = 0
+	sc.nBar++
+	return b
+}
+
+// Finish returns node i's absolute finish-time moment after a successful
+// MomentsInto pass.
+func (sc *MomentScratch) Finish(i int) stats.Moment {
+	return sc.barAbs[sc.barID[i]].AddIndep(sc.rel[i])
+}
+
+// Latency returns node i's latency moment after a successful pass.
+func (sc *MomentScratch) Latency(i int) stats.Moment { return sc.lat[i] }
+
+// Makespan returns the makespan moment of the last successful pass.
+func (sc *MomentScratch) Makespan() stats.Moment { return sc.makespanM }
+
+// latMoment returns node i's latency moment, whether the latency is
+// provably non-negative (the precondition for dominance pruning), and
+// whether analytic moments exist at all (Pareto needs alpha > 2, opaque
+// dists must implement stats.Varer).
+func (p *Program) latMoment(i int) (m stats.Moment, nonneg, ok bool) {
+	switch p.op[i] {
+	case opDet:
+		return stats.Moment{Mean: p.p0[i]}, p.p0[i] >= 0, true
+	case opNormal:
+		// Sampling truncates at zero; like stats.Normal.Mean, the moment
+		// ignores the truncation bias (negligible at the sigma/mu ratios
+		// the profiles use, and covered by the tolerance property tests).
+		return stats.Moment{Mean: p.p0[i], Var: p.p1[i] * p.p1[i]}, true, true
+	case opLogNormal:
+		s2 := p.p1[i] * p.p1[i]
+		mean := math.Exp(p.p0[i] + s2/2)
+		return stats.Moment{Mean: mean, Var: (math.Exp(s2) - 1) * mean * mean}, true, true
+	case opUniform:
+		w := p.p1[i] - p.p0[i]
+		return stats.Moment{Mean: (p.p0[i] + p.p1[i]) / 2, Var: w * w / 12}, p.p0[i] >= 0, true
+	case opExp:
+		return stats.Moment{Mean: p.p0[i], Var: p.p0[i] * p.p0[i]}, p.p0[i] >= 0, true
+	case opPareto:
+		al := p.p1[i]
+		if al <= 2 {
+			return stats.Moment{}, false, false
+		}
+		am1 := al - 1
+		return stats.Moment{
+			Mean: p.p0[i] * al / am1,
+			Var:  p.p0[i] * p.p0[i] * al / (am1 * am1 * (al - 2)),
+		}, true, true
+	case opRepeat:
+		d := p.dists[p.aux[i]]
+		base, ok := stats.DistMoment(d)
+		if !ok {
+			return stats.Moment{}, false, false
+		}
+		n := float64(p.cnt[i])
+		return stats.Moment{Mean: base.Mean * n, Var: base.Var * n}, distNonNeg(d), true
+	default:
+		d := p.dists[p.aux[i]]
+		m, ok := stats.DistMoment(d)
+		return m, distNonNeg(d), ok
+	}
+}
+
+// distNonNeg reports whether a distribution provably never samples below
+// zero. Unknown types answer false, which only disables dominance
+// pruning (forcing Monte-Carlo fallback when a pruning step would have
+// been required), never a wrong moment.
+func distNonNeg(d stats.Dist) bool {
+	switch v := d.(type) {
+	case stats.Deterministic:
+		return v.Value >= 0
+	case stats.Normal:
+		return true // Sample truncates at zero
+	case stats.LogNormal:
+		return true
+	case stats.Uniform:
+		return v.Lo >= 0
+	case stats.Exponential:
+		return v.MeanValue >= 0
+	case stats.Pareto:
+		return true
+	case stats.Repeat:
+		return distNonNeg(v.D)
+	case stats.Scaled:
+		return v.Factor >= 0 && distNonNeg(v.D)
+	case stats.Shifted:
+		return v.Offset >= 0 && distNonNeg(v.D)
+	}
+	return false
+}
+
+// SupportsMoments reports whether every latency opcode in the program has
+// finite analytic moments. It is a pure function of the program.
+//
+//rbvet:pure
+func (p *Program) SupportsMoments() bool {
+	for i := 0; i < p.n; i++ {
+		if _, _, ok := p.latMoment(i); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MomentsInto propagates finish-time moments through the compiled graph
+// in one linear pass — the analytic counterpart of SampleInto, with no
+// sampling and no RNG. It fills sc (per-node finish and latency moments,
+// readable via the accessors) and returns the makespan moment, taken over
+// the program's sinks.
+//
+// It reports ok=false — leaving the caller to fall back to Monte-Carlo —
+// when a latency lacks finite moments (Pareto alpha <= 2, opaque dists
+// without Var) or when pruning a dominated dependency would require a
+// non-negativity proof the latencies don't provide.
+//
+// Deterministic programs propagate exactly. Stochastic maxima are
+// moment-matched: equal-moment sibling groups via the iid quantile
+// sketch (stats.MaxIIDMoment), distinct groups via Clark's pairwise rule
+// (stats.MaxIndep), with equal-moment deps treated as iid — which they
+// are for the fork-join stage DAGs the simulator builds, where siblings
+// are literally iid draws.
+//
+//rbvet:pure
+//rbvet:noalloc
+func (p *Program) MomentsInto(sc *MomentScratch) (stats.Moment, bool) {
+	sc.reset(p.n)
+	allNonneg := true
+	for i := 0; i < p.n; i++ {
+		m, nn, ok := p.latMoment(i)
+		if !ok {
+			return stats.Moment{}, false
+		}
+		sc.lat[i] = m
+		allNonneg = allNonneg && nn
+	}
+
+	for i := 0; i < p.n; i++ {
+		lo, hi := p.depStart[i], p.depStart[i+1]
+		switch hi - lo {
+		case 0:
+			// Source: starts at time zero.
+			sc.barID[i] = 0
+			sc.rel[i] = sc.lat[i]
+		case 1:
+			d := p.deps[lo]
+			if p.outdeg[d] == 1 {
+				// Sole consumer: extend the chain in place. Sums of
+				// independent latencies propagate exactly.
+				sc.barID[i] = sc.barID[d]
+				sc.rel[i] = sc.rel[d].AddIndep(sc.lat[i])
+			} else {
+				// Shared dependency: its finish becomes a barrier so every
+				// consumer builds on the same random variable.
+				b := sc.promoted[d]
+				if b < 0 {
+					b = sc.newBarrier(sc.barID[d], sc.rel[d])
+					sc.promoted[d] = b
+				}
+				sc.barID[i] = b
+				sc.rel[i] = sc.lat[i]
+			}
+		default:
+			// Fork join: start at the max over dep finishes. Consecutive
+			// siblings with identical dep ranges share the fork barrier.
+			var b int32
+			if sc.prevBar >= 0 && hi-lo == sc.prevHi-sc.prevLo &&
+				eqDeps(p.deps[lo:hi], p.deps[sc.prevLo:sc.prevHi]) {
+				b = sc.prevBar
+			} else {
+				a, m, ok := sc.maxOverDeps(p, lo, hi, allNonneg)
+				if !ok {
+					return stats.Moment{}, false
+				}
+				b = sc.newBarrier(a, m)
+				sc.prevLo, sc.prevHi, sc.prevBar = lo, hi, b
+			}
+			sc.barID[i] = b
+			sc.rel[i] = sc.lat[i]
+		}
+	}
+
+	// Makespan over sinks. Segment programs close on a single SYNC sink,
+	// making this exact; multiple sinks combine via Clark.
+	mk := stats.Moment{}
+	first := true
+	for i := 0; i < p.n; i++ {
+		if p.outdeg[i] != 0 {
+			continue
+		}
+		f := sc.Finish(i)
+		if first {
+			mk, first = f, false
+		} else {
+			mk = stats.MaxIndep(mk, f)
+		}
+	}
+	sc.makespanM = mk
+	return mk, true
+}
+
+// eqDeps reports whether two equal-length dep ranges list the same nodes.
+func eqDeps(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxOverDeps computes the moment of max over the finish times of the
+// dep range [lo, hi), returned relative to the deps' lowest common
+// ancestor barrier a (the maximal shared prefix, so no shared variance is
+// double-counted). Deps whose finishes are barriers on another dep's
+// path are dominated (F(descendant) >= F(ancestor) for non-negative
+// latencies) and pruned; without a non-negativity proof a required prune
+// reports ok=false instead of risking a wrong moment.
+func (sc *MomentScratch) maxOverDeps(p *Program, lo, hi int32, allNonneg bool) (int32, stats.Moment, bool) {
+	deps := p.deps[lo:hi]
+	a := sc.barID[deps[0]]
+	same := true
+	for _, d := range deps[1:] {
+		if sc.barID[d] != a {
+			same = false
+			break
+		}
+	}
+	items := sc.items[:0]
+	if same {
+		// Same-barrier siblings: rels are mutually independent by
+		// construction (shared history would have forced a promotion).
+		for _, d := range deps {
+			items = append(items, sc.rel[d])
+		}
+	} else {
+		a = sc.lca(deps)
+		// Mark every barrier strictly below a on any dep's path; a dep
+		// promoted onto a marked barrier is an ancestor of another dep.
+		sc.gen++
+		for _, d := range deps {
+			for b := sc.barID[d]; b != a; b = sc.barParent[b] {
+				sc.barStamp[b] = sc.gen
+			}
+		}
+		for _, d := range deps {
+			if pb := sc.promoted[d]; pb >= 0 && sc.barStamp[pb] == sc.gen {
+				if !allNonneg {
+					return 0, stats.Moment{}, false
+				}
+				continue // dominated
+			}
+			lift := sc.barAbs[sc.barID[d]].SubIndepPrefix(sc.barAbs[a]).AddIndep(sc.rel[d])
+			items = append(items, lift)
+		}
+	}
+	sc.items = items
+
+	// Group bit-identical moments as iid (identical sibling structure
+	// yields identical arithmetic), then Clark across distinct groups.
+	res := stats.Moment{}
+	first := true
+	for j := 0; j < len(items); j++ {
+		m := items[j]
+		if math.IsNaN(m.Mean) {
+			continue // consumed by an earlier group
+		}
+		cnt := 1
+		for k := j + 1; k < len(items); k++ {
+			if items[k] == m {
+				items[k].Mean = math.NaN()
+				cnt++
+			}
+		}
+		g := stats.MaxIIDMoment(m, cnt)
+		if first {
+			res, first = g, false
+		} else {
+			res = stats.MaxIndep(res, g)
+		}
+	}
+	return a, res, true
+}
+
+// lca returns the lowest common ancestor of the deps' barriers in the
+// barrier tree, folding pairwise by depth.
+func (sc *MomentScratch) lca(deps []int32) int32 {
+	a := sc.barID[deps[0]]
+	for _, d := range deps[1:] {
+		b := sc.barID[d]
+		for a != b {
+			if sc.barDepth[a] >= sc.barDepth[b] {
+				a = sc.barParent[a]
+			} else {
+				b = sc.barParent[b]
+			}
+		}
+	}
+	return a
+}

@@ -43,7 +43,11 @@ type Program struct {
 	aux   []int32
 	cnt   []int32
 	dists []stats.Dist
-	n     int
+	// outdeg[i] is node i's successor count within the compiled range —
+	// the moment pass promotes multi-consumer finishes to shared barriers
+	// and takes the makespan over the outdeg-zero sinks.
+	outdeg []int32
+	n      int
 }
 
 // Compile translates a whole graph into a Program. Sampling the Program
@@ -63,15 +67,6 @@ func CompileRange(g *Graph, lo, hi int) *Program {
 		panic(fmt.Sprintf("dag: CompileRange [%d, %d) out of bounds for %d nodes", lo, hi, g.Len()))
 	}
 	n := hi - lo
-	p := &Program{
-		depStart: make([]int32, n+1),
-		op:       make([]opcode, n),
-		p0:       make([]float64, n),
-		p1:       make([]float64, n),
-		aux:      make([]int32, n),
-		cnt:      make([]int32, n),
-		n:        n,
-	}
 	edges := 0
 	for i := 0; i < n; i++ {
 		for _, d := range g.nodes[lo+i].deps {
@@ -80,7 +75,26 @@ func CompileRange(g *Graph, lo, hi int) *Program {
 			}
 		}
 	}
-	p.deps = make([]int32, 0, edges)
+	// One backing array serves every int32 column (and the edge list):
+	// programs are built in bulk on the planner's cold path, where a
+	// single allocation per program beats six.
+	back := make([]int32, 0, (n+1)+edges+3*n)
+	take := func(k int) []int32 {
+		s := len(back)
+		back = back[:s+k]
+		return back[s : s+k : s+k]
+	}
+	p := &Program{
+		depStart: take(n + 1),
+		op:       make([]opcode, n),
+		p0:       make([]float64, 2*n),
+		aux:      take(n),
+		cnt:      take(n),
+		n:        n,
+	}
+	p.p1 = p.p0[n : 2*n : 2*n]
+	p.p0 = p.p0[:n:n]
+	p.deps = take(edges)[:0]
 	for i := 0; i < n; i++ {
 		p.depStart[i] = int32(len(p.deps))
 		for _, d := range g.nodes[lo+i].deps {
@@ -91,6 +105,10 @@ func CompileRange(g *Graph, lo, hi int) *Program {
 		p.compileOp(i, g.nodes[lo+i].Latency)
 	}
 	p.depStart[n] = int32(len(p.deps))
+	p.outdeg = take(n)
+	for _, d := range p.deps {
+		p.outdeg[d]++
+	}
 	return p
 }
 

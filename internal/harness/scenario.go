@@ -220,6 +220,14 @@ func Generate(seed uint64, index int) Scenario {
 	sc.ReplanEnabled = r.Intn(2) == 0
 	sc.DriftThreshold = pick(r, 0.15, 0.25, 0.4)
 	sc.ReplanCooldown = uniform(r, 5, 120)
+
+	// Appended after every pre-existing draw (same corpus-stability rule):
+	// a third of scenarios re-roll onto the analytic moment-propagation
+	// estimator, so the chaos sweep plans without Monte-Carlo sampling end
+	// to end and the oracles vet its estimates against real executions.
+	if r.Intn(3) == 0 {
+		sc.Estimator = sim.EstimatorAnalytic
+	}
 	return sc
 }
 

@@ -13,22 +13,26 @@ import (
 )
 
 // FuzzPlanElastic fuzzes the elastic planner over sanitized experiment
-// shapes and deadlines and checks its contract: any returned plan is
-// valid for the spec, fits under MaxGPUs, meets the deadline by its own
-// estimate, and replanning from an identical simulator is bit-identical.
-// ErrInfeasible is the only acceptable refusal.
+// shapes, deadlines and estimator modes and checks its contract: any
+// returned plan is valid for the spec, fits under MaxGPUs, meets the
+// deadline by its own estimate, replanning from an identical simulator is
+// bit-identical, and the default two-phase search (analytic pruning +
+// frontier deduplication) selects exactly the plan the exhaustive
+// single-phase search selects. ErrInfeasible is the only acceptable
+// refusal.
 func FuzzPlanElastic(f *testing.F) {
-	f.Add(uint64(1), uint64(2), uint64(8), uint64(4), uint64(12), uint64(16))
-	f.Add(uint64(7), uint64(4), uint64(10), uint64(2), uint64(8), uint64(32))
-	f.Add(uint64(42), uint64(1), uint64(3), uint64(5), uint64(25), uint64(4))
-	f.Add(uint64(99), uint64(3), uint64(6), uint64(1), uint64(10), uint64(6))
-	f.Fuzz(func(t *testing.T, seed, rawStages, rawTrials, rawIters, rawFactor, rawMax uint64) {
+	f.Add(uint64(1), uint64(2), uint64(8), uint64(4), uint64(12), uint64(16), uint64(0))
+	f.Add(uint64(7), uint64(4), uint64(10), uint64(2), uint64(8), uint64(32), uint64(1))
+	f.Add(uint64(42), uint64(1), uint64(3), uint64(5), uint64(25), uint64(4), uint64(2))
+	f.Add(uint64(99), uint64(3), uint64(6), uint64(1), uint64(10), uint64(6), uint64(2))
+	f.Fuzz(func(t *testing.T, seed, rawStages, rawTrials, rawIters, rawFactor, rawMax, rawEst uint64) {
 		nStages := int(rawStages%4) + 1
 		trials := int(rawTrials%10) + 2
 		iters := int(rawIters%6) + 1
 		// Deadline factor in [0.5, 3.0): both infeasible and slack.
 		factor := 0.5 + float64(rawFactor%25)/10
 		maxGPUs := int(rawMax%32) + 1
+		estimator := []sim.EstimatorMode{sim.EstimatorSegment, sim.EstimatorFull, sim.EstimatorAnalytic}[rawEst%3]
 
 		s := spec.Empty()
 		for i := 0; i < nStages; i++ {
@@ -47,7 +51,7 @@ func FuzzPlanElastic(f *testing.F) {
 			InitLatency: stats.Deterministic{Value: 15},
 		}
 		newSim := func() *sim.Simulator {
-			sm, err := sim.New(s, prof, cp, 3, stats.NewRNG(seed), sim.WithWorkers(1))
+			sm, err := sim.New(s, prof, cp, 3, stats.NewRNG(seed), sim.WithWorkers(1), sim.WithEstimator(estimator))
 			if err != nil {
 				t.Fatalf("sim: %v", err)
 			}
@@ -89,6 +93,25 @@ func FuzzPlanElastic(f *testing.F) {
 		if math.Float64bits(res.Estimate.JCT) != math.Float64bits(res2.Estimate.JCT) ||
 			math.Float64bits(res.Estimate.Cost) != math.Float64bits(res2.Estimate.Cost) {
 			t.Fatalf("replan estimate diverged: %+v vs %+v", res.Estimate, res2.Estimate)
+		}
+
+		// Shortlist safety: the exhaustive single-phase search (no
+		// analytic pruning, no frontier deduplication) must select the
+		// same plan with a bit-identical estimate.
+		ref := &Planner{
+			Sim: newSim(), Deadline: deadline, MaxGPUs: maxGPUs, Workers: 1,
+			DisableAnalyticPrune: true, DisableFrontierDedupe: true,
+		}
+		rres, rerr := ref.PlanElastic()
+		if rerr != nil {
+			t.Fatalf("reference search failed where two-phase succeeded: %v", rerr)
+		}
+		if !res.Plan.Equal(rres.Plan) {
+			t.Fatalf("pruned search chose %v, exhaustive chose %v", res.Plan, rres.Plan)
+		}
+		if math.Float64bits(res.Estimate.JCT) != math.Float64bits(rres.Estimate.JCT) ||
+			math.Float64bits(res.Estimate.Cost) != math.Float64bits(rres.Estimate.Cost) {
+			t.Fatalf("pruned estimate %+v != exhaustive %+v", res.Estimate, rres.Estimate)
 		}
 	})
 }

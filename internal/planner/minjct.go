@@ -26,15 +26,27 @@ func (p *Planner) PlanMinJCT(budget float64) (Result, error) {
 		return Result{}, ErrInfeasible
 	}
 	stages := p.Sim.Spec().NumStages()
+	scr := p.newScreen()
+	defer scr.release(p)
 
-	// Warm start: the fastest static allocation within budget. Sizes are
-	// evaluated concurrently and reduced in ascending order, matching the
-	// serial enumeration exactly.
+	// Warm start: the fastest static allocation within budget. The
+	// frontier is analytically screened first (minimize JCT subject to
+	// the budget), then sizes are evaluated concurrently and reduced in
+	// ascending order, matching the serial enumeration exactly.
 	n := p.maxGPUs()
+	cands := make([]sim.Plan, n)
+	keep := make([]bool, n)
+	for i := range cands {
+		cands[i] = sim.Uniform(i+1, stages)
+		keep[i] = true
+	}
+	p.pruneEnumeration(scr, cands, keep, budget, true)
 	ests := make([]sim.Estimate, n)
 	errs := make([]error, n)
 	par.ForEach(n, par.Workers(p.Workers), func(i int) {
-		ests[i], errs[i] = p.estimate(sim.Uniform(i+1, stages))
+		if keep[i] {
+			ests[i], errs[i] = p.estimate(cands[i])
+		}
 	})
 	best := Result{}
 	found := false
@@ -42,11 +54,11 @@ func (p *Planner) PlanMinJCT(budget float64) (Result, error) {
 		if errs[i] != nil {
 			return Result{}, errs[i]
 		}
-		if ests[i].Cost > budget {
+		if !keep[i] || ests[i].Cost > budget {
 			continue
 		}
 		if !found || ests[i].JCT < best.Estimate.JCT {
-			best = Result{Plan: sim.Uniform(i+1, stages), Estimate: ests[i]}
+			best = Result{Plan: cands[i], Estimate: ests[i]}
 			found = true
 		}
 	}
@@ -63,10 +75,17 @@ func (p *Planner) PlanMinJCT(budget float64) (Result, error) {
 		if len(cands) == 0 {
 			break
 		}
+		ckeep := make([]bool, len(cands))
+		for i := range ckeep {
+			ckeep[i] = true
+		}
+		p.pruneDescentStep(scr, cands, ckeep, cur, budget, true)
 		candEsts := make([]sim.Estimate, len(cands))
 		candErrs := make([]error, len(cands))
 		par.ForEach(len(cands), par.Workers(p.Workers), func(i int) {
-			candEsts[i], candErrs[i] = p.estimate(cands[i])
+			if ckeep[i] {
+				candEsts[i], candErrs[i] = p.estimate(cands[i])
+			}
 		})
 		bestIdx := -1
 		bestBenefit := math.Inf(-1)
@@ -74,6 +93,9 @@ func (p *Planner) PlanMinJCT(budget float64) (Result, error) {
 		for i := range cands {
 			if candErrs[i] != nil {
 				return Result{}, candErrs[i]
+			}
+			if !ckeep[i] {
+				continue
 			}
 			est := candEsts[i]
 			if est.Cost > budget {

@@ -62,6 +62,21 @@ type Planner struct {
 	// reduction instead of Equation 1's JCT-normalized marginal benefit;
 	// exposed for the design-choice ablation.
 	RawCostSelection bool
+	// ShortlistK is the minimum number of frontier candidates the
+	// analytic pre-screen keeps for Monte-Carlo estimation (phase two of
+	// the search). Zero selects a small default. Larger values trade
+	// planning latency for extra safety margin against analytic bias.
+	ShortlistK int
+	// DisableAnalyticPrune turns off the analytic batch-scoring phase
+	// entirely: every candidate is Monte-Carlo estimated, as in the
+	// single-phase search. Exposed as the reference mode for the
+	// shortlist-safety tests and the planning benchmarks.
+	DisableAnalyticPrune bool
+	// DisableFrontierDedupe turns off canonical-allocation memo sharing:
+	// behaviorally identical candidates (allocations rounded to the same
+	// fair per-trial share) are re-estimated instead of reusing each
+	// other's estimates. Exposed for the grid-equivalence ablation.
+	DisableFrontierDedupe bool
 	// Workers bounds the goroutines that evaluate candidate plans
 	// concurrently (independent of the simulator's own Monte-Carlo worker
 	// pool). Zero selects GOMAXPROCS; 1 forces serial evaluation. Because
@@ -80,6 +95,23 @@ type Planner struct {
 	// estCalls counts estimate() invocations (hits + misses), for the
 	// search-efficiency diagnostics exposed by EstimateCalls/MemoLen.
 	estCalls int64
+	// prunedCands counts frontier candidates the analytic screen excluded
+	// from Monte-Carlo estimation (see PrunedCandidates).
+	prunedCands int64
+}
+
+// memoKey returns the memo key for a plan: its canonical-allocation key
+// when frontier deduplication applies, so behaviorally identical
+// candidates share one evaluation. Deduplication is sound exactly when
+// estimates are a function of the canonical allocation — true for the
+// segment and analytic estimators, whose RNG streams are keyed by
+// canonical segment tuples, and false for the full-DAG estimator, whose
+// streams are keyed by the raw plan.
+func (p *Planner) memoKey(plan sim.Plan) string {
+	if p.DisableFrontierDedupe || p.Sim.Estimator() == sim.EstimatorFull {
+		return plan.Key()
+	}
+	return p.Sim.CanonicalPlanKey(plan)
 }
 
 // estimate evaluates a plan through the memo cache. Concurrent callers may
@@ -87,7 +119,7 @@ type Planner struct {
 // both compute the identical value.
 func (p *Planner) estimate(plan sim.Plan) (sim.Estimate, error) {
 	atomic.AddInt64(&p.estCalls, 1)
-	key := plan.Key()
+	key := p.memoKey(plan)
 	p.memoMu.Lock()
 	est, ok := p.memo[key]
 	p.memoMu.Unlock()
@@ -155,20 +187,35 @@ func (p *Planner) PlanStatic() (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
+	scr := p.newScreen()
+	defer scr.release(p)
+	return p.planStatic(scr)
+}
+
+// planStatic is PlanStatic's body with the search's analytic screen
+// threaded in, so PlanElastic shares one screen (and its warm caches)
+// across the warm-start enumeration and every greedy descent.
+func (p *Planner) planStatic(scr *frontierScreen) (Result, error) {
 	stages := p.Sim.Spec().NumStages()
 	n := p.maxGPUs()
+	cands := make([]sim.Plan, n)
+	keep := make([]bool, n)
+	for i := range cands {
+		cands[i] = sim.Uniform(i+1, stages)
+		// The closed-form mean JCT ignores provisioning overheads and
+		// straggler inflation, so it lower-bounds the estimate: anything
+		// already over the deadline cannot become feasible.
+		keep[i] = p.Sim.StaticClusterJCT(i+1) <= p.Deadline
+	}
+	p.pruneEnumeration(scr, cands, keep, p.Deadline, false)
 	ests := make([]sim.Estimate, n)
 	oks := make([]bool, n)
 	errs := make([]error, n)
 	par.ForEach(n, par.Workers(p.Workers), func(i int) {
-		g := i + 1
-		// The analytic mean JCT ignores provisioning overheads and
-		// straggler inflation, so it lower-bounds the estimate: anything
-		// already over the deadline cannot become feasible.
-		if p.Sim.StaticClusterJCT(g) > p.Deadline {
+		if !keep[i] {
 			return
 		}
-		ests[i], errs[i] = p.estimate(sim.Uniform(g, stages))
+		ests[i], errs[i] = p.estimate(cands[i])
 		oks[i] = errs[i] == nil
 	})
 	best := Result{}
@@ -244,7 +291,9 @@ func (p *Planner) PlanElastic() (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	staticBest, err := p.PlanStatic()
+	scr := p.newScreen()
+	defer scr.release(p)
+	staticBest, err := p.planStatic(scr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -269,7 +318,7 @@ func (p *Planner) PlanElastic() (Result, error) {
 				continue
 			}
 		}
-		res, err := p.optimize(Result{Plan: warm, Estimate: warmEst})
+		res, err := p.optimize(scr, Result{Plan: warm, Estimate: warmEst})
 		if err != nil {
 			return Result{}, err
 		}
@@ -280,11 +329,13 @@ func (p *Planner) PlanElastic() (Result, error) {
 	return best, nil
 }
 
-// optimize is the greedy descent of Algorithm 2. Each iteration evaluates
-// the candidate set concurrently (memoized, so candidates shared with
-// earlier iterations cost nothing) and then selects the winner serially in
-// candidate order, keeping the descent deterministic at any worker count.
-func (p *Planner) optimize(start Result) (Result, error) {
+// optimize is the greedy descent of Algorithm 2, two-phased: each
+// iteration analytically screens the candidate set (dropping steps that
+// surely violate the deadline or surely cannot reduce cost), evaluates
+// the shortlist concurrently (memoized, so candidates shared with earlier
+// iterations cost nothing), and selects the winner serially in candidate
+// order, keeping the descent deterministic at any worker count.
+func (p *Planner) optimize(scr *frontierScreen, start Result) (Result, error) {
 	cur := start
 	gpn := p.Sim.Cloud().Instance.GPUs
 	if p.DisableInstanceStep {
@@ -296,10 +347,17 @@ func (p *Planner) optimize(start Result) (Result, error) {
 		if len(cands) == 0 {
 			return cur, nil
 		}
+		keep := make([]bool, len(cands))
+		for i := range keep {
+			keep[i] = true
+		}
+		p.pruneDescentStep(scr, cands, keep, cur, p.Deadline, false)
 		ests := make([]sim.Estimate, len(cands))
 		errs := make([]error, len(cands))
 		par.ForEach(len(cands), par.Workers(p.Workers), func(i int) {
-			ests[i], errs[i] = p.estimate(cands[i])
+			if keep[i] {
+				ests[i], errs[i] = p.estimate(cands[i])
+			}
 		})
 		bestIdx := -1
 		bestBenefit := math.Inf(-1)
@@ -307,6 +365,9 @@ func (p *Planner) optimize(start Result) (Result, error) {
 		for i := range cands {
 			if errs[i] != nil {
 				return Result{}, errs[i]
+			}
+			if !keep[i] {
+				continue
 			}
 			est := ests[i]
 			if est.JCT > p.Deadline {

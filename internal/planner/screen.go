@@ -1,0 +1,251 @@
+package planner
+
+// This file implements the two-phase frontier search: every candidate set
+// is first batch-scored by the simulator's analytic moment-propagation
+// evaluator (microseconds per plan, no sampling), pruned down to a
+// shortlist with a conservative safety margin, and only the shortlist is
+// handed to the Monte-Carlo estimator. The margin combines the
+// Monte-Carlo standard error the sampling estimate would carry
+// (κ·σ/√samples) with a relative allowance for the analytic pass's
+// moment-matching bias, so on the planner corpus the pruned search
+// selects exactly the plan the exhaustive search would (asserted by the
+// shortlist-safety tests). Profiles whose latencies lack finite second
+// moments simply score as unprunable and flow to Monte-Carlo unchanged.
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+const (
+	// pruneKappa is the prune margin in Monte-Carlo standard errors: a
+	// candidate is dropped only when the analytic estimate puts it this
+	// many standard errors past a bound.
+	pruneKappa = 6.0
+	// pruneBias is the relative allowance for the analytic estimator's
+	// moment-matching bias (the dag-level validation bounds the per-stage
+	// mean error near 1%; 2% is conservative for whole plans).
+	pruneBias = 0.02
+	// defaultShortlistK is the minimum number of candidates kept for the
+	// Monte-Carlo phase when pruning would cut deeper.
+	defaultShortlistK = 8
+)
+
+// frontierScreen wraps one analytic evaluator for a single search. A nil
+// screen disables pruning (every candidate goes to Monte-Carlo). It is
+// not safe for concurrent use; scoring is so cheap it runs serially
+// before the concurrent Monte-Carlo fan-out.
+type frontierScreen struct {
+	eval  *sim.AnalyticEval
+	sqrtN float64
+}
+
+// newScreen returns the search's analytic screen, or nil when pruning is
+// disabled. Under the analytic estimator the screen is also nil: phase
+// two already evaluates candidates analytically (memoized), so a scoring
+// pre-pass would compute every moment twice to save nothing. The
+// evaluator comes from the simulator's pool, so repeated searches over
+// one simulator score warm frontiers at map-probe cost; callers must
+// release the screen when the search returns.
+func (p *Planner) newScreen() *frontierScreen {
+	if p.DisableAnalyticPrune || p.Sim.Estimator() == sim.EstimatorAnalytic {
+		return nil
+	}
+	return &frontierScreen{
+		eval:  p.Sim.AcquireAnalyticEval(),
+		sqrtN: math.Sqrt(float64(p.Sim.Samples())),
+	}
+}
+
+// release returns the screen's evaluator to the simulator's pool. Safe
+// on a nil screen.
+func (s *frontierScreen) release(p *Planner) {
+	if s != nil {
+		p.Sim.ReleaseAnalyticEval(s.eval)
+		s.eval = nil
+	}
+}
+
+// score analytically evaluates plan. ok=false means the candidate cannot
+// be pruned — unsupported moments, or an invalid plan whose error the
+// Monte-Carlo path will surface — and must be estimated by sampling.
+func (s *frontierScreen) score(plan sim.Plan) (sim.Estimate, bool) {
+	if s == nil {
+		return sim.Estimate{}, false
+	}
+	est, ok, err := s.eval.Estimate(plan)
+	return est, err == nil && ok
+}
+
+// jctMargin is the safety slack around an analytic JCT: the sampling
+// estimator's standard error at the simulator's budget plus the bias
+// allowance.
+func (s *frontierScreen) jctMargin(e sim.Estimate) float64 {
+	return pruneKappa*e.JCTStd/s.sqrtN + pruneBias*e.JCT
+}
+
+// costMargin is the safety slack around an analytic cost.
+func (s *frontierScreen) costMargin(e sim.Estimate) float64 {
+	return pruneKappa*e.CostStd/s.sqrtN + pruneBias*e.Cost
+}
+
+// shortlistK returns the configured Monte-Carlo shortlist floor.
+func (p *Planner) shortlistK() int {
+	if p.ShortlistK > 0 {
+		return p.ShortlistK
+	}
+	return defaultShortlistK
+}
+
+// pruneEnumeration analytically prunes a one-dimensional enumeration
+// frontier in place, clearing keep[i] for candidates that provably cannot
+// win: minimize cost subject to JCT ≤ bound when objJCT is false (the
+// static warm-start enumeration), minimize JCT subject to cost ≤ bound
+// when true (the budgeted dual). A candidate is dropped when it is surely
+// infeasible (constraint minus margin past the bound) or surely dominated
+// (objective minus margin above the best surely-feasible candidate's
+// objective plus margin). At least shortlistK survivors are kept — the
+// cheapest dropped candidates by analytic objective are restored — so the
+// Monte-Carlo phase always sees a frontier even under aggressive margins.
+func (p *Planner) pruneEnumeration(scr *frontierScreen, cands []sim.Plan, keep []bool, bound float64, objJCT bool) {
+	if scr == nil || !p.worthScreening(keep) {
+		return
+	}
+	n := len(cands)
+	aests := make([]sim.Estimate, n)
+	aok := make([]bool, n)
+	for i := range cands {
+		if keep[i] {
+			aests[i], aok[i] = scr.score(cands[i])
+		}
+	}
+	split := func(e sim.Estimate) (obj, objM, con, conM float64) {
+		if objJCT {
+			return e.JCT, scr.jctMargin(e), e.Cost, scr.costMargin(e)
+		}
+		return e.Cost, scr.costMargin(e), e.JCT, scr.jctMargin(e)
+	}
+	// Upper bound on the optimum: the best surely-feasible candidate's
+	// objective, overestimated by its own margin.
+	bestUp := math.Inf(1)
+	for i := range cands {
+		if !keep[i] || !aok[i] {
+			continue
+		}
+		obj, objM, con, conM := split(aests[i])
+		if con+conM <= bound && obj+objM < bestUp {
+			bestUp = obj + objM
+		}
+	}
+	var dropped []int
+	for i := range cands {
+		if !keep[i] || !aok[i] {
+			continue
+		}
+		obj, objM, con, conM := split(aests[i])
+		if con-conM > bound || obj-objM > bestUp {
+			keep[i] = false
+			dropped = append(dropped, i)
+		}
+	}
+	p.restoreShortlist(keep, dropped, func(i int) float64 { obj, _, _, _ := split(aests[i]); return obj })
+}
+
+// pruneDescentStep analytically prunes one greedy candidate set in place:
+// a candidate whose JCT surely violates the deadline, or whose cost is
+// surely no better than the current plan's, can never be the selected
+// step (its benefit is −Inf, unselectable, and a sub-Delta improvement
+// terminates the descent identically). minimize=true mirrors the dual
+// ascent, where the roles of cost and JCT swap: the constraint is the
+// budget and a candidate surely not faster than the current plan is
+// unselectable.
+//
+// Unlike the enumeration prune, no shortlist is restored: the descent
+// needs no minimum frontier (an empty survivor set simply terminates the
+// step, exactly as the exhaustive search would after estimating and
+// rejecting every candidate), so every margin-certified drop converts
+// directly into a skipped Monte-Carlo evaluation.
+func (p *Planner) pruneDescentStep(scr *frontierScreen, cands []sim.Plan, keep []bool, cur Result, bound float64, minimizeJCT bool) {
+	if scr == nil {
+		return
+	}
+	for i := range cands {
+		est, ok := scr.score(cands[i])
+		if !ok {
+			continue
+		}
+		var drop bool
+		if minimizeJCT {
+			drop = est.Cost-scr.costMargin(est) > bound ||
+				est.JCT-scr.jctMargin(est) >= cur.Estimate.JCT
+		} else {
+			drop = est.JCT-scr.jctMargin(est) > bound ||
+				est.Cost-scr.costMargin(est) >= cur.Estimate.Cost
+		}
+		if drop {
+			keep[i] = false
+			atomic.AddInt64(&p.prunedCands, 1)
+		}
+	}
+}
+
+// worthScreening reports whether a shortlist-restoring prune can
+// possibly shrink the Monte-Carlo set: with at most shortlistK live
+// candidates the restore step would re-admit every drop, so scoring the
+// frontier is a provable no-op and is skipped outright.
+func (p *Planner) worthScreening(keep []bool) bool {
+	live := 0
+	want := p.shortlistK()
+	for _, k := range keep {
+		if k {
+			live++
+			if live > want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// restoreShortlist re-adds the best dropped candidates (by analytic
+// objective, ties broken by frontier order) until at least shortlistK
+// candidates survive. Restoring can only widen the Monte-Carlo phase, so
+// it preserves the safety of every individual prune.
+func (p *Planner) restoreShortlist(keep []bool, dropped []int, obj func(int) float64) {
+	if len(dropped) == 0 {
+		return
+	}
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	want := p.shortlistK()
+	if kept >= want {
+		atomic.AddInt64(&p.prunedCands, int64(len(dropped)))
+		return
+	}
+	sort.SliceStable(dropped, func(a, b int) bool { return obj(dropped[a]) < obj(dropped[b]) })
+	for _, i := range dropped {
+		if kept >= want {
+			break
+		}
+		keep[i] = true
+		kept++
+	}
+	remaining := 0
+	for _, i := range dropped {
+		if !keep[i] {
+			remaining++
+		}
+	}
+	atomic.AddInt64(&p.prunedCands, int64(remaining))
+}
+
+// PrunedCandidates reports how many frontier candidates the analytic
+// screen excluded from Monte-Carlo estimation across the search so far.
+func (p *Planner) PrunedCandidates() int64 { return atomic.LoadInt64(&p.prunedCands) }

@@ -99,6 +99,15 @@ type Config struct {
 	// used as the stale-vs-new adoption margin. Zero selects the
 	// planner's default (0.01).
 	Delta float64
+	// PreScreenTolerance is the relative movement in the stale tail's
+	// analytic JCT or cost (re-fitted vs planning-time profile) below
+	// which a drift trigger is judged immaterial and the Monte-Carlo
+	// replan is skipped. Zero selects 0.05.
+	PreScreenTolerance float64
+	// DisablePreScreen turns the analytic drift pre-screen off: every
+	// drift trigger runs the full Monte-Carlo replan, as before the
+	// two-phase fast path. Exposed for ablation and benchmarks.
+	DisablePreScreen bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +128,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Delta <= 0 {
 		c.Delta = 0.01
+	}
+	if c.PreScreenTolerance <= 0 {
+		c.PreScreenTolerance = 0.05
 	}
 	return c
 }
@@ -196,11 +208,19 @@ type Decision struct {
 	// included — meets the remaining deadline; the stale plan is kept
 	// and the job is infeasible-after-drift.
 	Infeasible bool
+	// Screened reports that the analytic drift pre-screen judged the
+	// trigger immaterial and kept the stale plan without running the
+	// Monte-Carlo replan; StaleEstimate is then the analytic estimate of
+	// the stale tail under the re-fitted profile.
+	Screened bool
 }
 
 // Note renders the decision compactly for trace events.
 func (d Decision) Note() string {
 	switch {
+	case d.Screened:
+		return fmt.Sprintf("%s: pre-screen immaterial, kept %v (analytic tail JCT %.0fs ≤ %.0fs)",
+			d.Reason, d.OldPlan, d.StaleEstimate.JCT, d.RemainingDeadline)
 	case d.Infeasible:
 		return fmt.Sprintf("%s: infeasible under remaining deadline %.0fs, kept %v", d.Reason, d.RemainingDeadline, d.OldPlan)
 	case d.Adopted:
@@ -458,6 +478,22 @@ func (c *Controller) Replan(state State, reason Reason) (Decision, error) {
 
 	suffix := c.cfg.Spec.Suffix(state.Stage + 1)
 	staleTail := state.Plan.Suffix(state.Stage + 1)
+
+	// Analytic drift pre-screen (drift triggers only — a preemption
+	// changed the capacity itself and must always replan): rescore the
+	// stale tail in microseconds under the re-fitted and planning-time
+	// profiles; when neither its feasibility nor its economics moved
+	// materially, a full replan would re-derive the same tail the original
+	// planner chose, so the decision is committed without Monte-Carlo.
+	if reason == ReasonDrift && !c.cfg.DisablePreScreen {
+		if est, material, ok := c.screenTail(prof, cp, suffix, staleTail, d.RemainingDeadline); ok && !material {
+			d.StaleEstimate = est
+			d.Screened = true
+			c.commit(d, state.Now)
+			return d, nil
+		}
+	}
+
 	sm, err := sim.New(suffix, prof, cp, c.cfg.Samples, c.cfg.RNG.Stream(uint64(seq)),
 		sim.WithWorkers(c.cfg.Workers), sim.WithEstimator(c.cfg.Estimator))
 	if err != nil {
@@ -494,6 +530,126 @@ func (c *Controller) Replan(state State, reason Reason) (Decision, error) {
 	}
 	c.commit(d, state.Now)
 	return d, nil
+}
+
+// analyticTail analytically estimates a tail plan under the given
+// profiles. The evaluation consults no RNG (the seed below is never
+// drawn from), so it is a pure function of its arguments. ok=false means
+// the profile's latencies lack finite moments.
+func (c *Controller) analyticTail(suffix *spec.ExperimentSpec, prof sim.TrainProfile, cp sim.CloudProfile, tail sim.Plan) (sim.Estimate, bool) {
+	sm, err := sim.New(suffix, prof, cp, c.cfg.Samples, stats.NewRNG(1), sim.WithWorkers(1))
+	if err != nil {
+		return sim.Estimate{}, false
+	}
+	est, ok, eerr := sm.NewAnalyticEval().Estimate(tail)
+	return est, eerr == nil && ok
+}
+
+// screenTail is the analytic drift pre-screen. material is true when a
+// full Monte-Carlo replan could plausibly change the executed plan:
+//
+//  1. the stale tail's re-fitted analytic JCT approaches the remaining
+//     deadline (feasibility is at risk, a faster tail may be needed);
+//  2. the tail's analytic JCT or cost moved by more than
+//     PreScreenTolerance between the planning-time and re-fitted
+//     profiles (the latency regime the plan was optimized for is gone);
+//  3. an analytic-only replan of the suffix finds a tail whose cost is
+//     within tolerance of beating the stale tail by the adoption margin
+//     Delta — this catches slack accumulated by a speed-up drift, where
+//     the profiles barely move but a cheaper tail now fits the remaining
+//     deadline.
+//
+// ok=false means the screen could not score the tail (no finite moments)
+// and the caller must run the full replan.
+func (c *Controller) screenTail(prof sim.TrainProfile, cp sim.CloudProfile, suffix *spec.ExperimentSpec, staleTail sim.Plan, remaining float64) (stale sim.Estimate, material, ok bool) {
+	refit, ok1 := c.analyticTail(suffix, prof, cp, staleTail)
+	base, ok2 := c.analyticTail(suffix, c.cfg.Profile, c.cfg.Cloud, staleTail)
+	if !ok1 || !ok2 {
+		return sim.Estimate{}, false, false
+	}
+	tol := c.cfg.PreScreenTolerance
+	if refit.JCT*(1+tol) >= remaining ||
+		math.Abs(refit.JCT-base.JCT) > tol*base.JCT ||
+		math.Abs(refit.Cost-base.Cost) > tol*base.Cost {
+		return refit, true, true
+	}
+	// Conditions 1–2 are quiet; check 3 with an analytic-only replan. The
+	// fixed seed is never drawn from (every estimate stays on the moment
+	// path — the stale tail just scored analytically above), so the
+	// mini-plan is deterministic and costs microseconds per candidate.
+	sm, err := sim.New(suffix, prof, cp, c.cfg.Samples, stats.NewRNG(1),
+		sim.WithWorkers(1), sim.WithEstimator(sim.EstimatorAnalytic))
+	if err != nil {
+		return refit, true, true
+	}
+	p := &planner.Planner{
+		Sim:      sm,
+		Deadline: remaining,
+		MaxGPUs:  c.cfg.MaxGPUs,
+		Workers:  1,
+		Delta:    c.cfg.Delta,
+	}
+	res, perr := p.PlanElastic()
+	switch {
+	case perr == planner.ErrInfeasible:
+		// No planner tail fits analytically while the stale one does; the
+		// full replan would keep the stale tail. Immaterial.
+	case perr != nil:
+		material = true
+	default:
+		// An analytic optimum that IS the stale tail can never be adopted:
+		// the full replan estimates both through the same memoized
+		// simulator, and a plan is never cheaper than itself by Delta. A
+		// different optimum is material when its cost is within tolerance
+		// of beating the stale tail by the adoption margin.
+		material = !res.Plan.Equal(staleTail) &&
+			res.Estimate.Cost < refit.Cost-c.cfg.Delta+tol*refit.Cost
+	}
+	return refit, material, true
+}
+
+// PreScreenResult is the outcome of the read-only analytic drift
+// pre-screen (see Controller.PreScreen).
+type PreScreenResult struct {
+	// Supported reports whether the analytic screen could score the tail;
+	// when false a full replan is required and the other fields are zero.
+	Supported bool
+	// Material reports whether the screen would let a drift trigger
+	// proceed to the Monte-Carlo replan.
+	Material bool
+	// RemainingDeadline is the tail's budget, as in Decision.
+	RemainingDeadline float64
+	// Stale is the analytic estimate of the stale tail under the
+	// re-fitted profile.
+	Stale sim.Estimate
+}
+
+// PreScreen runs the analytic drift pre-screen for state without
+// committing anything: no decision is recorded, no cooldown armed, no
+// random stream consumed. Replan applies the same screen internally to
+// drift-reason decisions; this entry point exists for callers that want
+// the microsecond-scale feasibility read on its own (dashboards, the
+// planning benchmarks).
+func (c *Controller) PreScreen(state State) (PreScreenResult, error) {
+	if state.Stage < 0 || state.Stage >= c.cfg.Spec.NumStages()-1 {
+		return PreScreenResult{}, fmt.Errorf("replan: stage %d of %d has no tail to screen", state.Stage, c.cfg.Spec.NumStages())
+	}
+	if err := state.Plan.Validate(c.cfg.Spec.NumStages()); err != nil {
+		return PreScreenResult{}, err
+	}
+	prof, cp, err := c.refitProfiles()
+	if err != nil {
+		return PreScreenResult{}, err
+	}
+	st := c.cfg.Spec.Stage(state.Stage)
+	per := sim.GPUsPerTrial(state.Plan.Alloc[state.Stage], st.Trials)
+	remaining := c.cfg.Deadline - float64(state.Now) - float64(state.RemainingIters)*prof.IterDist(per).Mean()
+	if remaining <= 0 {
+		return PreScreenResult{Supported: true, Material: true, RemainingDeadline: remaining}, nil
+	}
+	suffix := c.cfg.Spec.Suffix(state.Stage + 1)
+	stale, material, ok := c.screenTail(prof, cp, suffix, state.Plan.Suffix(state.Stage+1), remaining)
+	return PreScreenResult{Supported: ok, Material: material, RemainingDeadline: remaining, Stale: stale}, nil
 }
 
 // commit records the decision and arms the cooldown.

@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/stats"
+)
+
+// This file is the analytic (moment-propagation) estimator: the same
+// segment decomposition and billing replay as the Monte-Carlo paths, but
+// carrying (mean, variance) pairs instead of sample vectors. A warm
+// evaluation touches no RNG, draws no samples, and allocates nothing —
+// it is the sub-microsecond scoring pass the planner's batched frontier
+// pruning is built on.
+
+// segMoment is the analytic counterpart of a segment's sample vector:
+// the moments of its zero-based duration, its SCALE finish (zero when
+// the cluster does not grow into the stage), and its total training
+// GPU-slot seconds. ok=false marks a segment whose latencies lack finite
+// moments; such plans fall back to Monte-Carlo.
+type segMoment struct {
+	dur, scaleFin, trainSec stats.Moment
+	ok                      bool
+}
+
+// segmentMoments returns the segment's analytic moments, filling and
+// caching them on a miss. The value is a pure function of the segment
+// (itself a pure function of the simulator configuration and the key),
+// so benign double computation under concurrent misses is harmless.
+// sc is the caller's scratch for the propagation pass.
+//
+//rbvet:pure
+func (s *Simulator) segmentMoments(sg *segment, sc *dag.MomentScratch) segMoment {
+	s.mu.Lock()
+	v, ok := s.segMoments.get(sg.key)
+	s.mu.Unlock()
+	if ok {
+		return v
+	}
+	mk, okm := sg.prog.MomentsInto(sc)
+	v = segMoment{ok: okm}
+	if okm {
+		v.dur = mk
+		if sg.scaleIdx >= 0 {
+			v.scaleFin = sc.Finish(sg.scaleIdx)
+		}
+		// Training GPU-time is the sum of the (independent) train-node
+		// latencies; moments add.
+		for i := sg.trainLo; i < sg.trainHi; i++ {
+			v.trainSec = v.trainSec.AddIndep(sc.Latency(i))
+		}
+	}
+	s.mu.Lock()
+	s.segMoments.put(sg.key, v)
+	s.mu.Unlock()
+	return v
+}
+
+// birthGroup is one growth event on the analytic billing stack: count
+// instances born at stage-prefix moment pre plus the stage's SCALE
+// finish sf. Instances of one group share a single (random) lifetime, so
+// their charges are perfectly correlated and sum by scaling.
+type birthGroup struct {
+	pre, sf stats.Moment
+	count   int
+}
+
+// AnalyticEval evaluates plans analytically against one Simulator. It
+// owns the propagation scratch and the billing stack, so it is cheap to
+// reuse and must not be shared across goroutines concurrently; create
+// one per worker (NewAnalyticEval) or let Simulator.Estimate pool them.
+type AnalyticEval struct {
+	sim    *Simulator
+	sc     dag.MomentScratch
+	groups []birthGroup
+	moms   []segMoment
+	// plans is a per-evaluator view of the simulator's plan compilation,
+	// keyed by the same encoding as Plan.Key but probed through a reused
+	// byte buffer so a warm evaluation allocates nothing. It only ever
+	// holds pointers the shared LRU also produced (pure values), and its
+	// size is bounded by the frontiers one evaluator scores.
+	plans map[string]*compiledPlan
+	// scores memoizes whole evaluations under the same key: Estimate is
+	// deterministic, so a repeat call returns the cached (Estimate, ok)
+	// pair from one map probe without touching the moment caches at all.
+	// Both maps are dropped together past maxAnalyticCached entries, a
+	// backstop no planner frontier approaches.
+	scores map[string]analyticScore
+	key    []byte
+}
+
+// analyticScore is one memoized Estimate outcome (errors are not cached;
+// they only arise from invalid plans on the cold path).
+type analyticScore struct {
+	est Estimate
+	ok  bool
+}
+
+// maxAnalyticCached bounds the per-evaluator plan and score maps.
+const maxAnalyticCached = 1 << 14
+
+// NewAnalyticEval returns a fresh analytic evaluator bound to s.
+func (s *Simulator) NewAnalyticEval() *AnalyticEval {
+	return &AnalyticEval{sim: s}
+}
+
+// AcquireAnalyticEval returns an analytic evaluator from the simulator's
+// pool, creating one when none is idle. Pair it with ReleaseAnalyticEval
+// so the evaluator's warm caches (compiled plans, memoized scores) carry
+// over to the next acquirer — this is what keeps repeated planner
+// searches over one simulator at map-probe cost. Evaluations are pure,
+// so reuse can never change a result.
+func (s *Simulator) AcquireAnalyticEval() *AnalyticEval {
+	if e, _ := s.anaPool.Get().(*AnalyticEval); e != nil {
+		return e
+	}
+	return s.NewAnalyticEval()
+}
+
+// ReleaseAnalyticEval returns an evaluator obtained from
+// AcquireAnalyticEval to the pool. Releasing nil is a no-op.
+func (s *Simulator) ReleaseAnalyticEval(e *AnalyticEval) {
+	if e != nil {
+		s.anaPool.Put(e)
+	}
+}
+
+// Estimate analytically predicts JCT and cost for the plan: E[JCT] and
+// E[cost] in Estimate.JCT/Cost, with JCTStd/CostStd the analytic
+// standard deviations of the same distributions the Monte-Carlo modes
+// sample. ok=false means some latency lacks finite moments and the
+// caller should fall back to a sampling estimator; the error mirrors
+// Simulator.Estimate's plan validation.
+//
+// The evaluation is exact under deterministic latencies and
+// moment-matched otherwise (see dag.Program.MomentsInto); CostStd
+// additionally treats per-group instance charges as independent, which
+// the validation tests bound. It is deterministic — no RNG is consulted
+// — and a warm call (cached plan and segment moments) allocates nothing.
+func (e *AnalyticEval) Estimate(p Plan) (Estimate, bool, error) {
+	e.key = appendPlanKey(e.key[:0], p)
+	if s, hit := e.scores[string(e.key)]; hit { // no allocation: direct map probe
+		return s.est, s.ok, nil
+	}
+	cp := e.plans[string(e.key)]
+	if cp == nil {
+		var err error
+		cp, err = e.sim.compile(p)
+		if err != nil {
+			return Estimate{}, false, err
+		}
+		if e.plans == nil {
+			e.plans = make(map[string]*compiledPlan)
+		}
+		e.plans[string(e.key)] = cp
+	}
+	if cap(e.moms) < len(cp.segs) {
+		e.moms = make([]segMoment, len(cp.segs))
+	}
+	moms := e.moms[:len(cp.segs)]
+	sc := analyticScore{}
+	for i, sg := range cp.segs {
+		moms[i] = e.sim.segmentMoments(sg, &e.sc)
+		if !moms[i].ok {
+			e.memoize(sc)
+			return Estimate{}, false, nil
+		}
+	}
+	jct, cost := e.price(cp, moms)
+	sc = analyticScore{est: Estimate{
+		JCT: jct.Mean, JCTStd: jct.Std(),
+		Cost: cost.Mean, CostStd: cost.Std(),
+	}, ok: true}
+	e.memoize(sc)
+	return sc.est, sc.ok, nil
+}
+
+// memoize records the just-computed outcome for the plan key currently
+// in e.key, resetting both per-evaluator maps if they have grown past
+// the backstop bound.
+func (e *AnalyticEval) memoize(sc analyticScore) {
+	if e.scores == nil {
+		e.scores = make(map[string]analyticScore)
+	} else if len(e.scores) >= maxAnalyticCached {
+		e.scores = make(map[string]analyticScore)
+		e.plans = nil
+	}
+	e.scores[string(e.key)] = sc
+}
+
+// EstimateBatch scores a whole candidate frontier in one pass over the
+// shared cached segment moments, filling ests[i] and oks[i] for plans[i]
+// (all three slices must have equal length). With warm caches the loop
+// allocates nothing and each candidate costs microseconds — this is the
+// planner's batch-scoring primitive.
+func (e *AnalyticEval) EstimateBatch(plans []Plan, ests []Estimate, oks []bool) error {
+	for i, p := range plans {
+		est, ok, err := e.Estimate(p)
+		if err != nil {
+			return err
+		}
+		ests[i], oks[i] = est, ok
+	}
+	return nil
+}
+
+// appendPlanKey appends the Plan.Key encoding (4 big-endian bytes per
+// stage) to dst, reusing its capacity.
+func appendPlanKey(dst []byte, p Plan) []byte {
+	for _, a := range p.Alloc {
+		dst = append(dst, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	}
+	return dst
+}
+
+// price mirrors priceSchedule with moments: stage durations chain into
+// the JCT by independent summation; per-instance billing replays LIFO
+// lifetimes (a group's lifetime is the stage-prefix difference minus its
+// own SCALE finish — an independent-prefix subtraction, since a stage's
+// duration decomposes as its SCALE finish plus an independent remainder)
+// with the minimum charge applied via the Gaussian clamp; per-function
+// billing sums training GPU-seconds.
+func (e *AnalyticEval) price(cp *compiledPlan, moms []segMoment) (jct, cost stats.Moment) {
+	pr := e.sim.cloud.Pricing
+	cost = stats.Moment{Mean: float64(cp.maxInstances) * pr.DataIngressCost(e.sim.cloud.DatasetGB)}
+
+	if pr.Billing == cloud.PerFunction {
+		pg := e.sim.cloud.Instance.PricePerGPUSecond(pr.Market)
+		for i, sg := range cp.segs {
+			jct = jct.AddIndep(moms[i].dur)
+			cost = cost.AddIndep(moms[i].trainSec.Scale(float64(sg.trainGPUs) * pg))
+		}
+		return jct, cost
+	}
+
+	perHour := e.sim.cloud.Instance.PricePerHour(pr.Market)
+	groups := e.groups[:0]
+	alive := 0
+	var pre stats.Moment // absolute start moment of the current stage
+	for i, sg := range cp.segs {
+		want := sg.instances
+		if want > alive {
+			sf := stats.Moment{}
+			if sg.scaleIdx >= 0 {
+				sf = moms[i].scaleFin
+			}
+			groups = append(groups, birthGroup{pre: pre, sf: sf, count: want - alive})
+			alive = want
+		} else {
+			for alive > want {
+				top := &groups[len(groups)-1]
+				n := top.count
+				if alive-want < n {
+					n = alive - want
+				}
+				cost = cost.AddIndep(e.charge(*top, pre, n, perHour))
+				top.count -= n
+				alive -= n
+				if top.count == 0 {
+					groups = groups[:len(groups)-1]
+				}
+			}
+		}
+		pre = pre.AddIndep(moms[i].dur)
+	}
+	for _, g := range groups {
+		cost = cost.AddIndep(e.charge(g, pre, g.count, perHour))
+	}
+	e.groups = groups[:0]
+	return pre, cost
+}
+
+// charge bills n instances of one birth group dying at the stage-prefix
+// moment death: lifetime = (death − birth prefix) − SCALE finish, both
+// independent-prefix subtractions, clamped below by the minimum charge.
+// The n lifetimes are one shared random variable, so the group total
+// scales linearly (mean ×n, std ×n).
+func (e *AnalyticEval) charge(g birthGroup, death stats.Moment, n int, perHour float64) stats.Moment {
+	life := death.SubIndepPrefix(g.pre).SubIndepPrefix(g.sf)
+	billed := stats.ClampBelow(life, e.sim.cloud.Pricing.MinChargeSeconds)
+	return billed.Scale(float64(n) / 3600 * perHour)
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// analyticEstimate evaluates p on a fresh evaluator, failing the test on
+// error or on an unexpected fallback.
+func analyticEstimate(t *testing.T, sm *Simulator, p Plan) Estimate {
+	t.Helper()
+	e := sm.NewAnalyticEval()
+	est, ok, err := e.Estimate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("plan %v: analytic estimator unexpectedly unsupported", p)
+	}
+	return est
+}
+
+// TestAnalyticAgreesExactlyUnderDeterministicLatencies: with point-mass
+// latencies everywhere the moment pass is exact (every variance is zero),
+// so the analytic estimate must match the Monte-Carlo modes to float
+// round-off, under both billing models and for all plan shapes.
+func TestAnalyticAgreesExactlyUnderDeterministicLatencies(t *testing.T) {
+	for _, billing := range []cloud.BillingModel{cloud.PerInstance, cloud.PerFunction} {
+		ana := deterministicSim(t, 5, 2, EstimatorAnalytic, billing)
+		seg := deterministicSim(t, 5, 2, EstimatorSegment, billing)
+		for _, plan := range testPlans(ana) {
+			ae, err := ana.Estimate(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se, err := seg.Estimate(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ae.JCTStd != 0 || ae.CostStd != 0 {
+				t.Fatalf("billing %v plan %v: nonzero analytic spread %+v under deterministic latencies", billing, plan, ae)
+			}
+			if d := math.Abs(ae.JCT - se.JCT); d > 1e-9*se.JCT {
+				t.Fatalf("billing %v plan %v: analytic JCT %v != segment %v", billing, plan, ae.JCT, se.JCT)
+			}
+			if d := math.Abs(ae.Cost - se.Cost); d > 1e-9*se.Cost {
+				t.Fatalf("billing %v plan %v: analytic cost %v != segment %v", billing, plan, ae.Cost, se.Cost)
+			}
+			if ae.JCT <= 0 || ae.Cost <= 0 {
+				t.Fatalf("billing %v plan %v: degenerate estimate %+v", billing, plan, ae)
+			}
+		}
+	}
+}
+
+// TestAnalyticWithinMonteCarloTolerance: under stochastic latencies the
+// analytic estimator is a (slightly biased) closed form of the same
+// quantities EstimatorFull samples; at 400 samples its means must sit
+// within a few standard errors plus the documented moment-matching bias
+// allowance, for both billing models.
+func TestAnalyticWithinMonteCarloTolerance(t *testing.T) {
+	const samples = 400
+	for _, billing := range []cloud.BillingModel{cloud.PerInstance, cloud.PerFunction} {
+		ana := modeSim(t, samples, 4, 9, EstimatorAnalytic)
+		full := modeSim(t, samples, 4, 9, EstimatorFull)
+		ana.cloud.Pricing.Billing = billing
+		full.cloud.Pricing.Billing = billing
+		for _, plan := range testPlans(ana) {
+			ae := analyticEstimate(t, ana, plan)
+			fe, err := full.Estimate(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ae.JCTStd <= 0 {
+				t.Fatalf("billing %v plan %v: degenerate analytic spread %+v", billing, plan, ae)
+			}
+			// 5 standard errors of the Monte-Carlo mean plus 1.5% for the
+			// max-approximation bias (the dag-level validation bounds the
+			// per-stage mean error at 1%).
+			jctTol := 5*fe.JCTStd/math.Sqrt(samples) + 0.015*fe.JCT
+			costTol := 5*fe.CostStd/math.Sqrt(samples) + 0.015*fe.Cost
+			if d := math.Abs(ae.JCT - fe.JCT); d > jctTol {
+				t.Fatalf("billing %v plan %v: JCT analytic %v vs full %v (|d|=%v > %v)", billing, plan, ae.JCT, fe.JCT, d, jctTol)
+			}
+			if d := math.Abs(ae.Cost - fe.Cost); d > costTol {
+				t.Fatalf("billing %v plan %v: cost analytic %v vs full %v (|d|=%v > %v)", billing, plan, ae.Cost, fe.Cost, d, costTol)
+			}
+			// The analytic spreads describe the same distributions; they
+			// should be in the ballpark of the sampled spreads.
+			if ae.JCTStd < 0.3*fe.JCTStd || ae.JCTStd > 3*fe.JCTStd {
+				t.Fatalf("billing %v plan %v: JCTStd analytic %v vs full %v", billing, plan, ae.JCTStd, fe.JCTStd)
+			}
+		}
+	}
+}
+
+// TestAnalyticFallsBackOnHeavyTails: a latency without a finite second
+// moment (Pareto α ≤ 2) makes the analytic mode fall back to the segment
+// Monte-Carlo path — Simulator.Estimate must return the segment-mode
+// answer bit for bit, and the evaluator must report ok=false rather than
+// inventing numbers.
+func TestAnalyticFallsBackOnHeavyTails(t *testing.T) {
+	mk := func(mode EstimatorMode) *Simulator {
+		s := spec.MustSHA(16, 2, 16, 2)
+		prof := ModelTrainProfile{Model: model.ResNet50(), Batch: 512, GPUsPerNode: 4}
+		cp := DefaultCloudProfile()
+		cp.Overheads = cloud.Overheads{
+			QueueDelay:  stats.Pareto{Scale: 2, Alpha: 1.5}, // infinite variance
+			InitLatency: stats.Normal{Mu: 15, Sigma: 3},
+		}
+		sm, err := New(s, prof, cp, 24, stats.NewRNG(7), WithWorkers(2), WithEstimator(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sm
+	}
+	ana, seg := mk(EstimatorAnalytic), mk(EstimatorSegment)
+	for _, plan := range testPlans(ana) {
+		e := ana.NewAnalyticEval()
+		if _, ok, err := e.Estimate(plan); err != nil || ok {
+			t.Fatalf("plan %v: evaluator ok=%v err=%v, want unsupported", plan, ok, err)
+		}
+		ae, err := ana.Estimate(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := seg.Estimate(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ae != se {
+			t.Fatalf("plan %v: analytic fallback %+v != segment %+v", plan, ae, se)
+		}
+	}
+}
+
+// TestAnalyticPureAcrossCacheState: analytic estimates are pure — they
+// must not depend on what the plan, segment, or moment caches hold, and a
+// cold simulator must agree with a warm one bit for bit.
+func TestAnalyticPureAcrossCacheState(t *testing.T) {
+	warm := modeSim(t, 30, 2, 13, EstimatorAnalytic)
+	plan := testPlans(warm)[1]
+	want, err := warm.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := warm.Spec().NumStages()
+	for g := 1; g <= 32; g++ {
+		if _, err := warm.Estimate(Uniform(g, stages)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := warm.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("estimate changed with cache state: %+v != %+v", got, want)
+	}
+	cold := modeSim(t, 30, 2, 13, EstimatorAnalytic)
+	cgot, err := cold.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cgot != want {
+		t.Fatalf("cold estimate %+v != warm %+v", cgot, want)
+	}
+}
+
+// TestAnalyticIndependentOfSampleBudget: the analytic numbers come from
+// moments, not draws — changing the Monte-Carlo sample budget must not
+// move them at all.
+func TestAnalyticIndependentOfSampleBudget(t *testing.T) {
+	a := modeSim(t, 10, 1, 5, EstimatorAnalytic)
+	b := modeSim(t, 400, 4, 99, EstimatorAnalytic)
+	for _, plan := range testPlans(a) {
+		ea, eb := analyticEstimate(t, a, plan), analyticEstimate(t, b, plan)
+		if ea != eb {
+			t.Fatalf("plan %v: estimate depends on sample budget: %+v != %+v", plan, ea, eb)
+		}
+	}
+}
+
+// TestCanonicalAllocSharesEverything: allocations that are behaviorally
+// identical (same per-trial GPU share, same cluster size) must share
+// segments, sample vectors, RNG streams, and moments — so their estimates
+// are bit-identical in segment and analytic modes. This is the property
+// the planner's frontier deduplication relies on.
+func TestCanonicalAllocSharesEverything(t *testing.T) {
+	for _, mode := range []EstimatorMode{EstimatorSegment, EstimatorAnalytic} {
+		sm := modeSim(t, 30, 2, 17, mode)
+		stages := sm.Spec().NumStages()
+		stage := -1
+		for i := 0; i < stages; i++ {
+			if sm.Spec().Stage(i).Trials > 1 {
+				stage = i
+				break
+			}
+		}
+		if stage < 0 {
+			t.Fatal("no multi-trial stage in test spec")
+		}
+		trials := sm.Spec().Stage(stage).Trials
+		a, b := Uniform(8, stages), Uniform(8, stages)
+		a.Alloc[stage] = 2 * trials   // 2 GPUs per trial exactly
+		b.Alloc[stage] = 2*trials + 1 // one idle GPU: same behavior, same cost
+		ea, err := sm.Estimate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segsBefore := sm.segs.len()
+		eb, err := sm.Estimate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea != eb {
+			t.Fatalf("%v: equivalent allocations estimate differently: %+v != %+v", mode, ea, eb)
+		}
+		if got := sm.segs.len(); got != segsBefore {
+			t.Fatalf("%v: segment cache grew from %d to %d on an equivalent allocation", mode, segsBefore, got)
+		}
+	}
+}
+
+// TestAnalyticMomentCacheReusesAcrossPlans: like the segment sample cache,
+// the moment cache is keyed by segment tuple — re-estimating a plan that
+// shares all but one stage builds exactly one new moment entry.
+func TestAnalyticMomentCacheReusesAcrossPlans(t *testing.T) {
+	sm := modeSim(t, 10, 1, 21, EstimatorAnalytic)
+	stages := sm.Spec().NumStages()
+	if _, err := sm.Estimate(Uniform(16, stages)); err != nil {
+		t.Fatal(err)
+	}
+	before := sm.segMoments.len()
+	alloc := Uniform(16, stages).Alloc
+	alloc[stages-1] = 8
+	if _, err := sm.Estimate(Plan{Alloc: alloc}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.segMoments.len(); got != before+1 {
+		t.Fatalf("moment cache grew from %d to %d, want exactly one new entry", before, got)
+	}
+}
+
+// TestAnalyticEvalWarmZeroAlloc pins the warm analytic path — the batched
+// frontier evaluator's per-candidate cost — at zero heap allocations, for
+// both billing models.
+func TestAnalyticEvalWarmZeroAlloc(t *testing.T) {
+	for _, billing := range []cloud.BillingModel{cloud.PerInstance, cloud.PerFunction} {
+		sm := modeSim(t, 20, 1, 31, EstimatorAnalytic)
+		sm.cloud.Pricing.Billing = billing
+		plans := testPlans(sm)
+		e := sm.NewAnalyticEval()
+		ests := make([]Estimate, len(plans))
+		oks := make([]bool, len(plans))
+		if err := e.EstimateBatch(plans, ests, oks); err != nil { // warm caches
+			t.Fatal(err)
+		}
+		for i, ok := range oks {
+			if !ok {
+				t.Fatalf("billing %v plan %v: unsupported", billing, plans[i])
+			}
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := e.EstimateBatch(plans, ests, oks); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("billing %v: warm EstimateBatch allocates %v per run, want 0", billing, allocs)
+		}
+	}
+}

@@ -107,7 +107,7 @@ func (s *Simulator) compile(p Plan) (*compiledPlan, error) {
 	cp = &compiledPlan{segs: make([]*segment, len(p.Alloc))}
 	prev := 0
 	for i, alloc := range p.Alloc {
-		sg := s.segmentFor(segKey{stage: i, alloc: alloc, prev: prev})
+		sg := s.segmentFor(segKey{stage: i, alloc: canonAlloc(alloc, s.spec.Stage(i).Trials), prev: prev})
 		cp.segs[i] = sg
 		prev = sg.instances
 		if sg.instances > cp.maxInstances {
@@ -118,6 +118,43 @@ func (s *Simulator) compile(p Plan) (*compiledPlan, error) {
 	s.plans.put(key, cp)
 	s.mu.Unlock()
 	return cp, nil
+}
+
+// canonAlloc maps a stage allocation to its behavioral representative:
+// above the trial count only the fair per-trial share alloc/trials is
+// ever used (by the DAG builder, the placement sizing, and the billing),
+// so every allocation in [k·trials, (k+1)·trials) executes identically
+// to k·trials. Keying segments by the representative makes equivalent
+// allocations share compiled programs, sample vectors, and — because
+// segStream hashes the key — the exact same common random numbers, which
+// is what lets the planner deduplicate symmetric frontier candidates
+// without changing any estimate.
+func canonAlloc(alloc, trials int) int {
+	if alloc >= trials {
+		return alloc - alloc%trials
+	}
+	return alloc
+}
+
+// CanonicalPlanKey returns the Plan.Key encoding of p's behavioral
+// representative under this simulator's spec: each stage allocation
+// mapped through canonAlloc. Two plans with equal canonical keys produce
+// bit-identical estimates in the segment and analytic modes, which derive
+// programs, sample vectors and RNG streams from the canonical segment
+// tuples; the full-DAG mode keys its streams by the raw plan and is
+// excluded from the guarantee. The planner's frontier deduplication memos
+// on this key. Stages beyond the spec pass through unmapped (such plans
+// fail validation at estimation time anyway).
+func (s *Simulator) CanonicalPlanKey(p Plan) string {
+	stages := s.spec.NumStages()
+	b := make([]byte, 0, 4*len(p.Alloc))
+	for i, a := range p.Alloc {
+		if i < stages {
+			a = canonAlloc(a, s.spec.Stage(i).Trials)
+		}
+		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	}
+	return string(b)
 }
 
 // segmentFor returns the compiled segment for key, building it on a cache
@@ -151,7 +188,18 @@ func (s *Simulator) buildSegment(key segKey) *segment {
 		need = placement.NodesNeeded(key.alloc, 1, gpn)
 	}
 
-	g := dag.New()
+	// Presize the graph: scale + inits, one train per trial, one sync;
+	// every train depends on each init (or one chained predecessor), the
+	// sync on every train.
+	grow := 0
+	if need > key.prev {
+		grow = need - key.prev
+	}
+	fan := grow
+	if fan == 0 {
+		fan = 1
+	}
+	g := dag.NewSized(grow+st.Trials+2, grow+st.Trials*fan+st.Trials)
 	scaleIdx := -1
 	var stageDeps []int
 	if need > key.prev {
@@ -263,7 +311,7 @@ func (s *Simulator) workerSlots() int {
 // programs, so they differ only in which RNG stream feeds each segment.
 func (s *Simulator) sampleVectors(cp *compiledPlan, p Plan) [][]segSample {
 	vecs := make([][]segSample, len(cp.segs))
-	if s.estimator == EstimatorSegment {
+	if s.estimator != EstimatorFull {
 		for i, sg := range cp.segs {
 			vecs[i] = s.segmentSamples(sg)
 		}

@@ -25,6 +25,15 @@ const (
 	// statistically identical to sampling the full execution DAG with no
 	// cross-plan draw sharing and no cache dependence.
 	EstimatorFull
+	// EstimatorAnalytic draws no samples at all: it propagates
+	// (mean, variance) moments through the compiled segment programs
+	// (dag.Program.MomentsInto) and recombines them against an analytic
+	// billing model, yielding an estimate in microseconds. It agrees with
+	// the sampling modes exactly under deterministic latencies and to
+	// statistical tolerance otherwise. Plans whose latencies lack finite
+	// moments (Pareto alpha <= 2, opaque dists without Var) fall back to
+	// EstimatorSegment Monte-Carlo transparently.
+	EstimatorAnalytic
 )
 
 // String renders the mode as its flag spelling.
@@ -34,19 +43,24 @@ func (m EstimatorMode) String() string {
 		return "segment"
 	case EstimatorFull:
 		return "full"
+	case EstimatorAnalytic:
+		return "analytic"
 	}
 	return fmt.Sprintf("EstimatorMode(%d)", int(m))
 }
 
-// ParseEstimator parses a -estimator flag value ("segment" or "full").
+// ParseEstimator parses a -estimator flag value ("segment", "full", or
+// "analytic").
 func ParseEstimator(s string) (EstimatorMode, error) {
 	switch s {
 	case "segment":
 		return EstimatorSegment, nil
 	case "full":
 		return EstimatorFull, nil
+	case "analytic":
+		return EstimatorAnalytic, nil
 	}
-	return 0, fmt.Errorf("sim: unknown estimator %q (want \"segment\" or \"full\")", s)
+	return 0, fmt.Errorf("sim: unknown estimator %q (want \"segment\", \"full\", or \"analytic\")", s)
 }
 
 // WithEstimator selects the Monte-Carlo estimator mode. The default is

@@ -52,7 +52,9 @@ func deterministicSim(t testing.TB, samples, workers int, mode EstimatorMode, bi
 	return sm
 }
 
-func estimatorModes() []EstimatorMode { return []EstimatorMode{EstimatorSegment, EstimatorFull} }
+func estimatorModes() []EstimatorMode {
+	return []EstimatorMode{EstimatorSegment, EstimatorFull, EstimatorAnalytic}
+}
 
 // TestParseEstimator round-trips both flag spellings and rejects others.
 func TestParseEstimator(t *testing.T) {

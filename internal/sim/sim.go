@@ -57,6 +57,12 @@ type Simulator struct {
 	plans      *lru[string, *compiledPlan]
 	segs       *lru[segKey, *segment]
 	segSamples *lru[segKey, []segSample]
+	segMoments *lru[segKey, segMoment]
+
+	// anaPool recycles AnalyticEval scratch for Estimate's analytic mode;
+	// evaluators are stateless between uses, so pooling only saves
+	// allocations and cannot affect results.
+	anaPool sync.Pool
 }
 
 // Option configures optional Simulator behavior in New.
@@ -102,6 +108,7 @@ func New(s *spec.ExperimentSpec, profile TrainProfile, cp CloudProfile, samples 
 		plans:      newLRU[string, *compiledPlan](planCacheCap),
 		segs:       newLRU[segKey, *segment](segCacheCap),
 		segSamples: newLRU[segKey, []segSample](segCacheCap),
+		segMoments: newLRU[segKey, segMoment](segCacheCap),
 	}
 	for _, o := range opts {
 		o(sm)
@@ -111,6 +118,10 @@ func New(s *spec.ExperimentSpec, profile TrainProfile, cp CloudProfile, samples 
 
 // Workers returns the resolved Monte-Carlo worker bound.
 func (s *Simulator) Workers() int { return par.Workers(s.workers) }
+
+// Samples returns the Monte-Carlo sample count; callers sizing safety
+// margins around sampled means divide the spread by its square root.
+func (s *Simulator) Samples() int { return s.samples }
 
 // planKey hashes a plan's allocation vector into the index of its
 // dedicated stream family.
@@ -255,6 +266,19 @@ func (s *Simulator) build(p Plan) (*buildResult, error) {
 //
 //rbvet:pure
 func (s *Simulator) Estimate(p Plan) (Estimate, error) {
+	if s.estimator == EstimatorAnalytic {
+		e := s.AcquireAnalyticEval()
+		est, ok, err := e.Estimate(p)
+		s.ReleaseAnalyticEval(e)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if ok {
+			return est, nil
+		}
+		// Some latency lacks finite moments: fall back to segment-mode
+		// Monte-Carlo below (sampleVectors treats non-Full as segment).
+	}
 	cp, err := s.compile(p)
 	if err != nil {
 		return Estimate{}, err

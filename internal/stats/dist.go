@@ -224,3 +224,68 @@ func (s Shifted) Sample(r *RNG) float64 { return s.Offset + s.D.Sample(r) }
 func (s Shifted) Mean() float64 { return s.Offset + s.D.Mean() }
 
 func (s Shifted) String() string { return fmt.Sprintf("%g+%s", s.Offset, s.D) }
+
+// Var returns 0: a point mass has no spread.
+func (d Deterministic) Var() float64 { return 0 }
+
+// Var returns sigma². Like Mean, it ignores the truncation at zero,
+// which is negligible at the sigma/mu ratios the profiles use; the
+// analytic estimator's tolerance tests bound the residual bias.
+func (n Normal) Var() float64 { return n.Sigma * n.Sigma }
+
+// Var returns (exp(sigma²)−1)·exp(2mu+sigma²).
+func (l LogNormal) Var() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// Var returns (Hi−Lo)²/12.
+func (u Uniform) Var() float64 {
+	w := u.Hi - u.Lo
+	return w * w / 12
+}
+
+// Var returns Mean².
+func (e Exponential) Var() float64 { return e.MeanValue * e.MeanValue }
+
+// Var returns the Pareto variance, which is finite only for alpha > 2;
+// below that it returns +Inf, which the analytic estimator treats as
+// "unsupported — fall back to Monte-Carlo".
+func (p Pareto) Var() float64 {
+	if p.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	am1 := p.Alpha - 1
+	return p.Scale * p.Scale * p.Alpha / (am1 * am1 * (p.Alpha - 2))
+}
+
+// Var returns N times the wrapped variance (independent draws), or NaN
+// when the wrapped distribution carries no analytic variance.
+func (s Repeat) Var() float64 {
+	v, ok := s.D.(Varer)
+	if !ok {
+		return math.NaN()
+	}
+	return float64(s.N) * v.Var()
+}
+
+// Var returns Factor² times the wrapped variance, or NaN when the wrapped
+// distribution carries no analytic variance.
+func (s Scaled) Var() float64 {
+	v, ok := s.D.(Varer)
+	if !ok {
+		return math.NaN()
+	}
+	return s.Factor * s.Factor * v.Var()
+}
+
+// Var returns the wrapped variance unchanged (shifting moves only the
+// mean), or NaN when the wrapped distribution carries no analytic
+// variance.
+func (s Shifted) Var() float64 {
+	v, ok := s.D.(Varer)
+	if !ok {
+		return math.NaN()
+	}
+	return v.Var()
+}
