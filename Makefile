@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race test-replan test-recovery vet lint lint-fast bench bench-plan bench-sim experiments examples repro fuzz-short clean
+.PHONY: all build test test-race test-replan test-recovery test-serve vet lint lint-fast bench bench-plan bench-sim experiments examples repro fuzz-short clean
 
-all: build vet lint test test-race
+all: build vet lint test test-race test-serve
 
 build:
 	go build ./...
@@ -46,6 +46,19 @@ test-replan:
 test-recovery:
 	go test -race -count=1 ./internal/journal
 	go test -race -count=1 ./internal/harness -run 'TestCrashPointSweep|TestReplanScenarioJournals|TestSnapshotIntervalInvisible|TestCrashRecover|TestResumeRefuses'
+
+# Multi-tenant control-plane suite: the arbiter/registry unit and
+# property tests, the HTTP backpressure suite (429 + Retry-After, FIFO
+# drain, 100+ concurrent experiments with offline replay verification),
+# the slack-vs-FIFO arbiter differential, and crash recovery across
+# process generations — all under the race detector (the HTTP layer is
+# the one deliberately concurrent surface above the deterministic core).
+# RB_HEAVY_TESTS=1 additionally runs the p99 status-latency SLO test.
+test-serve:
+	go test -race -count=1 ./internal/serve ./cmd/rbserve
+	go test -race -count=1 ./internal/harness -run 'TestCheckFleet|TestArbitrated|TestGated|TestRunningStepwise'
+	go test -race -count=1 ./internal/core -run 'TestRunMultiJobShared'
+	go test -race -count=1 ./internal/executor -run 'TestStageGate'
 
 # Bounded chaos pass for CI: a fixed scenario batch through every
 # invariant oracle with replay and crash/recovery equivalence, then 30s

@@ -13,6 +13,7 @@
 //	rbfuzz -seed 1 -index 52 -v    # re-run one failing scenario verbosely
 //	rbfuzz -seed 1 -n 64 -replan on -drift-threshold 0.15
 //	rbfuzz -seed 1 -n 64 -crash    # add crash/recovery equivalence checks
+//	rbfuzz -serve-replay t.json    # verify an rbserve replay tuple offline
 //
 // Everything derives from -seed: a failure printed by any run reproduces
 // bit-identically with `go run ./cmd/rbfuzz -seed S -index I`, at any
@@ -20,12 +21,37 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/serve"
 )
+
+// verifyServeReplay re-derives an rbserve experiment's digest offline:
+// the tuple's recorded grant sequence is scripted into a fresh gated run
+// of the same submission and the digest must match bit for bit.
+func verifyServeReplay(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbfuzz:", err)
+		return 2
+	}
+	var t serve.ReplayTuple
+	if err := json.Unmarshal(data, &t); err != nil {
+		fmt.Fprintf(os.Stderr, "rbfuzz: parsing %s: %v\n", path, err)
+		return 2
+	}
+	d, err := serve.VerifyReplay(t)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbfuzz: replay %s: %v\n", t.ID, err)
+		return 1
+	}
+	fmt.Printf("rbfuzz: replay %s ok, digest %016x matches\n", t.ID, uint64(d))
+	return 0
+}
 
 func main() {
 	var (
@@ -38,8 +64,13 @@ func main() {
 		verbose = flag.Bool("v", false, "print every scenario, not just failures")
 		rpl     = flag.String("replan", "auto", "online replanning controller: auto (per-scenario draw), on, or off")
 		drift   = flag.Float64("drift-threshold", 0, "override the replan controller's EWMA trigger threshold (0 = per-scenario draw)")
+		srvRep  = flag.String("serve-replay", "", "verify an rbserve replay tuple JSON file and exit")
 	)
 	flag.Parse()
+
+	if *srvRep != "" {
+		os.Exit(verifyServeReplay(*srvRep))
+	}
 
 	var mutate func(*harness.Scenario)
 	switch *rpl {

@@ -137,6 +137,13 @@ var DeterministicCore = []string{
 	ModulePath + "/internal/harness",
 	ModulePath + "/internal/journal",
 	ModulePath + "/internal/vclock",
+	// The serve control plane sits ON the determinism boundary: its HTTP
+	// surface lives in wall time, but everything below the grant gate
+	// must stay taint-clean — the only sanctioned wall-clock read is the
+	// annotated ops-timestamp helper in wall.go. Keeping the package in
+	// the core makes any new wall-clock or environment read a lint
+	// failure instead of a silent replay break.
+	ModulePath + "/internal/serve",
 }
 
 // basePath strips the external-test suffix so AppliesTo predicates see

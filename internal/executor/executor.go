@@ -69,6 +69,16 @@ type Config struct {
 	// drift detector, and on trigger (or preemption) the remaining plan
 	// is recompiled and spliced in at the next stage boundary.
 	Replan *replan.Controller
+	// StageGate, if non-nil, is consulted at every stage boundary before
+	// the cluster is sized: it receives the stage index and the live
+	// plan's allocation and returns the GPU grant the stage actually runs
+	// with. The grant is clamped to [1, planned] (1 GPU still makes
+	// progress via queued trial waves) and spliced into the live plan, so
+	// schedule rows and FinalPlan report what actually ran. The
+	// cross-experiment arbiter in internal/serve uses this to reallocate
+	// a shared cluster across jobs. Mutually exclusive with Replan: both
+	// rewrite the live plan and their composition is undefined.
+	StageGate func(stage, planned int) int
 }
 
 func (c *Config) validate() error {
@@ -83,6 +93,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("executor: batch %d", c.Batch)
 	case c.RestoreSeconds < 0:
 		return fmt.Errorf("executor: negative restore latency")
+	case c.StageGate != nil && c.Replan != nil:
+		return fmt.Errorf("executor: StageGate and Replan both set")
 	}
 	if err := c.Spec.Validate(); err != nil {
 		return err
@@ -347,6 +359,21 @@ func (r *run) survivors() []*trial.Trial {
 func (r *run) startStage(i int) {
 	r.stage = i
 	st := r.cfg.Spec.Stage(i)
+	if gate := r.cfg.StageGate; gate != nil {
+		// Stage-boundary arbitration: the gate's grant replaces the
+		// planned allocation in the live plan before any sizing math, so
+		// every downstream reader (gang shapes, schedule rows, FinalPlan)
+		// sees the granted value.
+		planned := r.execPlan.Alloc[i]
+		grant := gate(i, planned)
+		if grant < 1 {
+			grant = 1
+		}
+		if grant > planned {
+			grant = planned
+		}
+		r.execPlan.Alloc[i] = grant
+	}
 	alloc := r.execPlan.Alloc[i]
 	gpn := r.cfg.Cluster.GPUsPerNode()
 

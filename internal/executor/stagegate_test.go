@@ -1,0 +1,90 @@
+package executor
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/replan"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// TestStageGateClampsLivePlan: a gate's grants replace the planned
+// allocations, clamped to [1, planned], and the executed plan reflects
+// exactly the granted GPUs.
+func TestStageGateClampsLivePlan(t *testing.T) {
+	h := newHarness(t, cloud.PerInstance, 0, 0, 7)
+	s := spec.MustSHA(8, 2, 4, 2)
+	m := quietModel()
+	cfg := runConfig(t, h, s, sim.Uniform(8, s.NumStages()), m, 7)
+
+	var calls []int
+	cfg.StageGate = func(stage, planned int) int {
+		calls = append(calls, stage)
+		switch stage {
+		case 0:
+			return 3 // squeeze below plan
+		case 1:
+			return 99 // above plan: must clamp to planned
+		default:
+			return -5 // nonsense: must clamp to 1
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != s.NumStages() {
+		t.Fatalf("gate consulted %d times for %d stages", len(calls), s.NumStages())
+	}
+	for i, st := range calls {
+		if st != i {
+			t.Errorf("gate call %d was for stage %d", i, st)
+		}
+	}
+	want := []int{3, 8}
+	for i, w := range want {
+		if got := res.FinalPlan.Alloc[i]; got != w {
+			t.Errorf("stage %d executed %d GPUs, want %d", i, got, w)
+		}
+	}
+	if res.JCT <= 0 {
+		t.Fatalf("JCT = %v", res.JCT)
+	}
+}
+
+// TestStageGateSingleGPUStillCompletes: a gate granting the 1-GPU
+// minimum everywhere still finishes every trial via queued waves.
+func TestStageGateSingleGPUStillCompletes(t *testing.T) {
+	h := newHarness(t, cloud.PerInstance, 0, 0, 8)
+	s := spec.MustSHA(6, 1, 3, 2)
+	m := quietModel()
+	cfg := runConfig(t, h, s, sim.Uniform(6, s.NumStages()), m, 8)
+	cfg.StageGate = func(stage, planned int) int { return 1 }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.FinalPlan.Alloc {
+		if res.FinalPlan.Alloc[i] != 1 {
+			t.Errorf("stage %d executed %d GPUs, want 1", i, res.FinalPlan.Alloc[i])
+		}
+	}
+	if res.BestTrial < 0 {
+		t.Error("no winning trial")
+	}
+}
+
+// TestStageGateExcludesReplan: the gate and the replan controller both
+// rewrite the live plan; configuring both must be rejected.
+func TestStageGateExcludesReplan(t *testing.T) {
+	h := newHarness(t, cloud.PerInstance, 0, 0, 9)
+	s := spec.MustSHA(4, 1, 2, 2)
+	m := quietModel()
+	cfg := runConfig(t, h, s, sim.Uniform(4, s.NumStages()), m, 9)
+	cfg.StageGate = func(stage, planned int) int { return planned }
+	cfg.Replan = &replan.Controller{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("StageGate + Replan accepted")
+	}
+}

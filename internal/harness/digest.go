@@ -132,6 +132,19 @@ func ComputeDigest(a *Artifacts) Digest {
 		h.i64(b2i(d.Infeasible))
 	}
 
+	// Arbiter grants (stage-boundary reallocation of gated runs). Folded
+	// only when present so ungated runs keep their historical digests.
+	if len(a.Grants) > 0 {
+		h.str("grants")
+		h.i64(int64(len(a.Grants)))
+		for _, g := range a.Grants {
+			h.i64(int64(g.Stage))
+			h.i64(int64(g.Want))
+			h.i64(int64(g.Granted))
+			h.f64(g.At)
+		}
+	}
+
 	// Billing ledger.
 	now := a.finishedAt()
 	h.i64(int64(len(a.Instances)))

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// fe abbreviates fleet-event construction; Seq is assigned by seq().
+func seq(events []FleetEvent) []FleetEvent {
+	for i := range events {
+		events[i].Seq = i
+	}
+	return events
+}
+
+// TestCheckFleetInvariantsCleanLog: a well-formed two-tenant log passes.
+func TestCheckFleetInvariantsCleanLog(t *testing.T) {
+	log := seq([]FleetEvent{
+		{Kind: "submit", Exp: "a", Tenant: "t1"},
+		{Kind: "submit", Exp: "b", Tenant: "t2"},
+		{Kind: "admit", Exp: "a", Tenant: "t1", Held: 1},
+		{Kind: "admit", Exp: "b", Tenant: "t2", Held: 1},
+		{Kind: "grant", Exp: "a", Stage: 0, Want: 3, Granted: 3, Held: 3},
+		{Kind: "grant", Exp: "b", Stage: 0, Want: 2, Granted: 1, Held: 1},
+		{Kind: "done", Exp: "a", Tenant: "t1"},
+		{Kind: "grant", Exp: "b", Stage: 1, Want: 2, Granted: 2, Held: 2},
+		{Kind: "done", Exp: "b", Tenant: "t2"},
+	})
+	if vs := CheckFleetInvariants(log, 4, 1); len(vs) != 0 {
+		t.Fatalf("clean log flagged: %v", vs)
+	}
+}
+
+// TestCheckFleetInvariantsCatchesViolations: each corrupted log trips
+// the oracle with the right complaint — the oracle itself is under test
+// here, so the serve suites' clean results are meaningful.
+func TestCheckFleetInvariantsCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		log  []FleetEvent
+		cap  int
+		want string
+	}{
+		{
+			name: "oversubscription",
+			log: seq([]FleetEvent{
+				{Kind: "submit", Exp: "a", Tenant: "t"},
+				{Kind: "submit", Exp: "b", Tenant: "t"},
+				{Kind: "admit", Exp: "a", Tenant: "t", Held: 1},
+				{Kind: "admit", Exp: "b", Tenant: "t", Held: 1},
+				{Kind: "grant", Exp: "a", Want: 3, Granted: 3, Held: 3},
+				{Kind: "grant", Exp: "b", Want: 2, Granted: 2, Held: 2},
+				{Kind: "done", Exp: "a", Tenant: "t"},
+				{Kind: "done", Exp: "b", Tenant: "t"},
+			}),
+			cap:  4,
+			want: "GPUs held",
+		},
+		{
+			name: "lost experiment",
+			log: seq([]FleetEvent{
+				{Kind: "submit", Exp: "a", Tenant: "t"},
+				{Kind: "admit", Exp: "a", Tenant: "t", Held: 1},
+			}),
+			cap:  4,
+			want: "lost",
+		},
+		{
+			name: "double run",
+			log: seq([]FleetEvent{
+				{Kind: "submit", Exp: "a", Tenant: "t"},
+				{Kind: "admit", Exp: "a", Tenant: "t", Held: 1},
+				{Kind: "admit", Exp: "a", Tenant: "t", Held: 1},
+				{Kind: "done", Exp: "a", Tenant: "t"},
+			}),
+			cap:  4,
+			want: "admitted twice",
+		},
+		{
+			name: "admission without submission",
+			log: seq([]FleetEvent{
+				{Kind: "admit", Exp: "ghost", Tenant: "t", Held: 1},
+				{Kind: "done", Exp: "ghost", Tenant: "t"},
+			}),
+			cap:  4,
+			want: "without submission",
+		},
+		{
+			name: "fifo violation",
+			log: seq([]FleetEvent{
+				{Kind: "submit", Exp: "a", Tenant: "t"},
+				{Kind: "submit", Exp: "b", Tenant: "t"},
+				{Kind: "admit", Exp: "b", Tenant: "t", Held: 1},
+				{Kind: "admit", Exp: "a", Tenant: "t", Held: 1},
+				{Kind: "done", Exp: "a", Tenant: "t"},
+				{Kind: "done", Exp: "b", Tenant: "t"},
+			}),
+			cap:  4,
+			want: "not FIFO",
+		},
+		{
+			name: "zero-gpu grant",
+			log: seq([]FleetEvent{
+				{Kind: "submit", Exp: "a", Tenant: "t"},
+				{Kind: "admit", Exp: "a", Tenant: "t", Held: 1},
+				{Kind: "grant", Exp: "a", Want: 2, Granted: 0, Held: 0},
+				{Kind: "done", Exp: "a", Tenant: "t"},
+			}),
+			cap:  4,
+			want: "granted 0",
+		},
+		{
+			name: "grant after completion",
+			log: seq([]FleetEvent{
+				{Kind: "submit", Exp: "a", Tenant: "t"},
+				{Kind: "admit", Exp: "a", Tenant: "t", Held: 1},
+				{Kind: "done", Exp: "a", Tenant: "t"},
+				{Kind: "grant", Exp: "a", Want: 2, Granted: 2, Held: 2},
+			}),
+			cap:  4,
+			want: "non-live",
+		},
+		{
+			name: "double completion",
+			log: seq([]FleetEvent{
+				{Kind: "submit", Exp: "a", Tenant: "t"},
+				{Kind: "admit", Exp: "a", Tenant: "t", Held: 1},
+				{Kind: "done", Exp: "a", Tenant: "t"},
+				{Kind: "done", Exp: "a", Tenant: "t"},
+			}),
+			cap:  4,
+			want: "completed twice",
+		},
+		{
+			name: "out-of-order seq",
+			log: []FleetEvent{
+				{Seq: 5, Kind: "submit", Exp: "a", Tenant: "t"},
+			},
+			cap:  4,
+			want: "global order",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := CheckFleetInvariants(tc.log, tc.cap, 8)
+			found := false
+			for _, v := range vs {
+				if strings.Contains(v.Detail, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no violation matching %q, got %v", tc.want, vs)
+			}
+		})
+	}
+}
+
+// TestCheckFleetInvariantsBoundedWait: an experiment overtaken by more
+// than admitBound later admissions is starvation.
+func TestCheckFleetInvariantsBoundedWait(t *testing.T) {
+	log := seq([]FleetEvent{
+		{Kind: "submit", Exp: "slow", Tenant: "t1"},
+		{Kind: "submit", Exp: "q1", Tenant: "t2"},
+		{Kind: "submit", Exp: "q2", Tenant: "t3"},
+		{Kind: "submit", Exp: "q3", Tenant: "t4"},
+		{Kind: "admit", Exp: "q1", Tenant: "t2", Held: 1},
+		{Kind: "done", Exp: "q1", Tenant: "t2"},
+		{Kind: "admit", Exp: "q2", Tenant: "t3", Held: 1},
+		{Kind: "done", Exp: "q2", Tenant: "t3"},
+		{Kind: "admit", Exp: "q3", Tenant: "t4", Held: 1},
+		{Kind: "done", Exp: "q3", Tenant: "t4"},
+		{Kind: "admit", Exp: "slow", Tenant: "t1", Held: 1},
+		{Kind: "done", Exp: "slow", Tenant: "t1"},
+	})
+	if vs := CheckFleetInvariants(log, 4, 3); len(vs) != 0 {
+		t.Fatalf("wait of 3 within bound 3 flagged: %v", vs)
+	}
+	vs := CheckFleetInvariants(log, 4, 2)
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Detail, "waited behind") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("starvation beyond bound 2 not flagged: %v", vs)
+	}
+}

@@ -43,6 +43,7 @@ func DefaultOracles() []Oracle {
 		{Name: "deadline", Check: checkDeadline},
 		{Name: "replan-consistency", Check: checkReplanConsistency},
 		{Name: "schedule-sanity", Check: checkScheduleSanity},
+		{Name: "grant-consistency", Check: checkGrantConsistency},
 	}
 }
 
@@ -430,6 +431,57 @@ func checkReplanConsistency(a *Artifacts) []string {
 	}
 	if !final.Equal(prev) {
 		out = append(out, fmt.Sprintf("final plan %v does not close the decision chain (expected %v)", final, prev))
+	}
+	return out
+}
+
+// checkGrantConsistency verifies a gated run's arbitration bookkeeping:
+// exactly one grant per stage in stage order, each within [1, want] with
+// want matching the pre-gate plan, scripted caps honored exactly, and
+// the executed final plan equal to the granted allocations. Runs that
+// recorded no grants are checked only for not owing any (a cap-carrying
+// scenario must gate every stage).
+func checkGrantConsistency(a *Artifacts) []string {
+	var out []string
+	n := a.Scenario.Spec.NumStages()
+	caps := a.Scenario.ArbiterCaps
+	if len(a.Grants) == 0 {
+		if len(caps) > 0 {
+			out = append(out, fmt.Sprintf("cap-carrying scenario recorded no grants (%d stages)", n))
+		}
+		return out
+	}
+	if len(a.Grants) != n {
+		out = append(out, fmt.Sprintf("%d grants recorded for %d stages", len(a.Grants), n))
+		return out
+	}
+	final := a.Result.FinalPlan
+	for i, g := range a.Grants {
+		if g.Stage != i {
+			out = append(out, fmt.Sprintf("grant %d is for stage %d, want stage order", i, g.Stage))
+			continue
+		}
+		if g.Want != a.Plan.Alloc[i] {
+			out = append(out, fmt.Sprintf("stage %d requested %d GPUs, plan allocates %d", i, g.Want, a.Plan.Alloc[i]))
+		}
+		if g.Granted < 1 || g.Granted > g.Want {
+			out = append(out, fmt.Sprintf("stage %d granted %d GPUs outside [1, %d]", i, g.Granted, g.Want))
+		}
+		if len(caps) == n {
+			want := g.Want
+			if caps[i] < want {
+				want = caps[i]
+			}
+			if want < 1 {
+				want = 1
+			}
+			if g.Granted != want {
+				out = append(out, fmt.Sprintf("stage %d granted %d GPUs, cap %d and request %d imply %d", i, g.Granted, caps[i], g.Want, want))
+			}
+		}
+		if i < len(final.Alloc) && final.Alloc[i] != g.Granted {
+			out = append(out, fmt.Sprintf("stage %d executed %d GPUs, grant was %d", i, final.Alloc[i], g.Granted))
+		}
 	}
 	return out
 }

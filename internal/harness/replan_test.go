@@ -203,6 +203,10 @@ func TestZeroDriftReplanIsNoOp(t *testing.T) {
 			t.Fatalf("generator drifted: scenario 13/%d no longer deterministic-clean\n  %s", idx, sc)
 		}
 		on, off := sc, sc
+		// Hand-forcing the controller on is incompatible with a generated
+		// arbiter cap (both rewrite the live plan); this differential is
+		// about replanning only.
+		on.ArbiterCaps, off.ArbiterCaps = nil, nil
 		on.ReplanEnabled, off.ReplanEnabled = true, false
 		a, err := RunScenario(on)
 		if err != nil {

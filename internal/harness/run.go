@@ -57,6 +57,51 @@ const maxSteps = 2_000_000
 // errLivelock is returned when a scenario exhausts maxSteps.
 var errLivelock = errors.New("harness: event budget exhausted before job completion (livelock?)")
 
+// GrantRequest is one stage-boundary resource request presented to an
+// arbiter gate: the executor is about to start Stage and the live plan
+// calls for Want GPUs. Now is the virtual clock, Deadline the job
+// deadline, and PredictedRemaining the planner-predicted virtual seconds
+// of work left from this stage onward — Deadline − Now −
+// PredictedRemaining is the request's deadline slack, the quantity
+// HyperSched-style arbitration ranks by.
+type GrantRequest struct {
+	Stage              int
+	Want               int
+	Now                float64
+	Deadline           float64
+	PredictedRemaining float64
+}
+
+// GrantFn arbitrates one GrantRequest, returning the granted GPU count.
+// Grants are clamped to [1, Want]: one GPU still makes progress through
+// queued trial waves, so a gate can squeeze but never stall a stage.
+// The gate is called synchronously inside the executor's stage
+// transition, so it must not block on the run's own progress.
+type GrantFn func(GrantRequest) int
+
+// GrantDecision is one recorded arbitration outcome.
+type GrantDecision struct {
+	Stage   int
+	Want    int
+	Granted int
+	At      float64
+}
+
+// RunConfig bundles the optional knobs of a scenario run.
+type RunConfig struct {
+	// Journal, if non-nil, streams every state transition through the
+	// writer (write-ahead) exactly as RunScenarioJournaled does.
+	Journal *journal.Writer
+	// Gate, if non-nil, arbitrates every stage-boundary allocation. The
+	// decisions are recorded in Artifacts.Grants, journaled as Grant
+	// records, and folded into the digest, so a gated run is a pure
+	// function of (scenario, grant sequence). Gated scenarios must not
+	// enable the replan controller: both rewrite the live plan.
+	Gate GrantFn
+	// NewClock supplies the simulation kernel (default vclock.New).
+	NewClock func() *vclock.Clock
+}
+
 // Artifacts bundles everything a run produced that oracles inspect: the
 // plan and its prediction, the realized result, the full event trace, and
 // the provider-side billing state.
@@ -87,6 +132,10 @@ type Artifacts struct {
 	Steps int
 	// DriftClass labels the scenario's drift-vs-deadline relationship.
 	DriftClass DriftClass
+	// Grants is the stage-boundary arbitration record of a gated run
+	// (empty for ungated runs). Replaying the same scenario under a gate
+	// that re-issues this sequence reproduces the digest bit for bit.
+	Grants []GrantDecision
 }
 
 // finishedAt returns the virtual completion instant of the run.
@@ -107,7 +156,15 @@ func RunScenario(sc Scenario) (*Artifacts, error) { return runScenario(sc, nil) 
 // both and requires bit-identical artifacts; everything downstream of
 // the clock is kernel-agnostic.
 func RunScenarioOnKernel(sc Scenario, newClock func() *vclock.Clock) (*Artifacts, error) {
-	return runScenarioOn(sc, nil, newClock)
+	return runWith(sc, RunConfig{NewClock: newClock})
+}
+
+// RunScenarioArbitrated runs sc with every stage-boundary allocation
+// arbitrated by gate — the offline replay path for multi-tenant runs: a
+// scripted gate re-issuing a recorded grant sequence reproduces the
+// server-side digest bit for bit.
+func RunScenarioArbitrated(sc Scenario, gate GrantFn) (*Artifacts, error) {
+	return runWith(sc, RunConfig{Gate: gate})
 }
 
 // runScenario is RunScenario with an optional journal writer: when jw is
@@ -117,11 +174,61 @@ func RunScenarioOnKernel(sc Scenario, newClock func() *vclock.Clock) (*Artifacts
 // clock steps. Journaling draws no randomness and mutates no run state,
 // so a journaled run's artifacts are bit-identical to a plain run's.
 func runScenario(sc Scenario, jw *journal.Writer) (*Artifacts, error) {
-	return runScenarioOn(sc, jw, vclock.New)
+	return runWith(sc, RunConfig{Journal: jw})
 }
 
-// runScenarioOn is the full pipeline, parameterized over the kernel.
+// runScenarioOn is the journaled kernel-parameterized entry the
+// differential suites use.
 func runScenarioOn(sc Scenario, jw *journal.Writer, newClock func() *vclock.Clock) (*Artifacts, error) {
+	return runWith(sc, RunConfig{Journal: jw, NewClock: newClock})
+}
+
+// runWith starts the scenario and drives it to completion.
+func runWith(sc Scenario, rc RunConfig) (*Artifacts, error) {
+	r, err := StartScenario(sc, rc)
+	if err != nil {
+		return nil, err
+	}
+	for !r.Done() {
+		if err := r.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return r.Finish()
+}
+
+// Running is an in-flight scenario run driven by its caller: the serve
+// control plane steps many Runnings against one arbiter, and tests step
+// them in lockstep. Step/Done/Finish must be called from one goroutine;
+// the read accessors may race only with that goroutine's steps, so
+// concurrent callers (an HTTP status endpoint) must synchronize
+// externally.
+type Running struct {
+	sc       Scenario
+	a        *Artifacts
+	jw       *journal.Writer
+	clock    *vclock.Clock
+	job      *executor.Job
+	provider *cloud.Provider
+	mgr      *cluster.Manager
+	rec      *trace.Recorder
+	finished bool
+}
+
+// StartScenario builds the full pipeline for sc — simulator, plan,
+// substrate, executor — and returns it un-driven: the first Step
+// executes the first virtual-clock event. See RunConfig for the knobs.
+func StartScenario(sc Scenario, rc RunConfig) (*Running, error) {
+	jw, gate, newClock := rc.Journal, rc.Gate, rc.NewClock
+	if newClock == nil {
+		newClock = vclock.New
+	}
+	if gate == nil && len(sc.ArbiterCaps) > 0 {
+		gate = capGate(sc.ArbiterCaps)
+	}
+	if gate != nil && sc.ReplanEnabled {
+		return nil, fmt.Errorf("harness: arbitrated runs require ReplanEnabled=false (both rewrite the live plan)")
+	}
 	root := scenarioRoot(sc.BatchSeed, sc.Index)
 
 	// Plan. The simulator gets its own stream; planning runs serially so
@@ -261,6 +368,51 @@ func runScenarioOn(sc Scenario, jw *journal.Writer, newClock func() *vclock.Cloc
 		})
 	}
 
+	// Gate wiring: the executor's stage-boundary hook computes deadline
+	// slack from planned work fractions, consults the gate, and records
+	// the decision (artifacts + journal) before applying it. Predicted
+	// remaining time scales the planned JCT by the fraction of
+	// trial-iterations not yet started — analytic, so arbitration draws
+	// no randomness.
+	var stageGate func(stage, planned int) int
+	if gate != nil {
+		total := 0.0
+		cum := make([]float64, sc.Spec.NumStages()+1)
+		for i := 0; i < sc.Spec.NumStages(); i++ {
+			st := sc.Spec.Stage(i)
+			total += float64(st.Trials * st.Iters)
+			cum[i+1] = total
+		}
+		predictedJCT := deadline
+		if a.Planned {
+			predictedJCT = a.Estimate.JCT
+		}
+		stageGate = func(stage, planned int) int {
+			now := float64(clock.Now())
+			remaining := predictedJCT
+			if total > 0 {
+				remaining = predictedJCT * (total - cum[stage]) / total
+			}
+			g := gate(GrantRequest{
+				Stage: stage, Want: planned, Now: now,
+				Deadline: deadline, PredictedRemaining: remaining,
+			})
+			if g < 1 {
+				g = 1
+			}
+			if g > planned {
+				g = planned
+			}
+			a.Grants = append(a.Grants, GrantDecision{Stage: stage, Want: planned, Granted: g, At: now})
+			if jw != nil {
+				jw.Observe(&journal.Grant{
+					Stage: int64(stage), Want: int64(planned), Granted: int64(g), At: now,
+				})
+			}
+			return g
+		}
+	}
+
 	job, err = executor.Start(executor.Config{
 		Spec:             sc.Spec,
 		Plan:             a.Plan,
@@ -276,32 +428,94 @@ func runScenarioOn(sc Scenario, jw *journal.Writer, newClock func() *vclock.Cloc
 		Trace:            rec,
 		LatencyScale:     latencyScale,
 		Replan:           ctl,
+		StageGate:        stageGate,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: start: %w", err)
 	}
-	for !job.Done() {
-		if jw != nil {
-			if err := jw.Err(); err != nil {
-				return nil, err
-			}
+	return &Running{
+		sc: sc, a: a, jw: jw, clock: clock, job: job,
+		provider: provider, mgr: mgr, rec: rec,
+	}, nil
+}
+
+// capGate is the scripted gate of cap-carrying scenarios: stage i is
+// granted at most caps[i] GPUs — a pure function of the scenario, so
+// chaos-generated gated runs stay replayable from (seed, index) alone.
+func capGate(caps []int) GrantFn {
+	return func(req GrantRequest) int {
+		if req.Stage < len(caps) && caps[req.Stage] < req.Want {
+			return caps[req.Stage]
 		}
-		if a.Steps >= maxSteps {
-			return nil, errLivelock
-		}
-		if !clock.Step() {
-			return nil, fmt.Errorf("harness: event queue drained before completion")
-		}
-		a.Steps++
+		return req.Want
 	}
-	res, err := job.Result()
+}
+
+// Done reports whether the job has completed (successfully or not).
+func (r *Running) Done() bool { return r.job.Done() }
+
+// Step executes one virtual-clock event, enforcing the journal-error and
+// livelock checks between events.
+func (r *Running) Step() error {
+	if r.jw != nil {
+		if err := r.jw.Err(); err != nil {
+			return err
+		}
+	}
+	if r.a.Steps >= maxSteps {
+		return errLivelock
+	}
+	if !r.clock.Step() {
+		return fmt.Errorf("harness: event queue drained before completion")
+	}
+	r.a.Steps++
+	return nil
+}
+
+// Stage returns the index of the stage currently executing.
+func (r *Running) Stage() int { return r.job.Stage() }
+
+// Steps returns the number of virtual-clock events executed so far.
+func (r *Running) Steps() int { return r.a.Steps }
+
+// Now returns the current virtual time in seconds.
+func (r *Running) Now() float64 { return float64(r.clock.Now()) }
+
+// CostSoFar returns the provider's accrued cost at the current instant.
+func (r *Running) CostSoFar() float64 { return r.provider.TotalCost(r.clock.Now()) }
+
+// Deadline returns the sampled job deadline in seconds.
+func (r *Running) Deadline() float64 { return r.a.Deadline }
+
+// Planned reports whether the elastic planner produced the plan.
+func (r *Running) Planned() bool { return r.a.Planned }
+
+// Plan returns the allocation plan the run started with.
+func (r *Running) Plan() sim.Plan { return r.a.Plan.Clone() }
+
+// Estimate returns the planner's prediction (valid only when Planned).
+func (r *Running) Estimate() sim.Estimate { return r.a.Estimate }
+
+// Grants returns the arbitration decisions recorded so far. The slice is
+// a copy: stage transitions append concurrently with status reads.
+func (r *Running) Grants() []GrantDecision {
+	return append([]GrantDecision(nil), r.a.Grants...)
+}
+
+// Finish completes the run's bookkeeping once Done: result extraction,
+// the journal End record, and artifact assembly.
+func (r *Running) Finish() (*Artifacts, error) {
+	if r.finished {
+		return r.a, nil
+	}
+	res, err := r.job.Result()
 	if err != nil {
 		return nil, fmt.Errorf("harness: run: %w", err)
 	}
-	if jw != nil {
+	if r.jw != nil {
 		// Close the journal: an End record marks a completed (rather than
 		// crashed) run.
-		if err := jw.Record(&journal.End{
+		if err := r.jw.Record(&journal.End{
 			JCT:       res.JCT,
 			Cost:      res.Cost,
 			BestTrial: int64(res.BestTrial),
@@ -309,11 +523,11 @@ func runScenarioOn(sc Scenario, jw *journal.Writer, newClock func() *vclock.Cloc
 			return nil, err
 		}
 	}
-
-	a.Result = res
-	a.Recorder = rec
-	a.Instances = provider.Instances()
-	a.DataCost = provider.DataCost()
-	a.Retries = mgr.Retries()
-	return a, nil
+	r.a.Result = res
+	r.a.Recorder = r.rec
+	r.a.Instances = r.provider.Instances()
+	r.a.DataCost = r.provider.DataCost()
+	r.a.Retries = r.mgr.Retries()
+	r.finished = true
+	return r.a, nil
 }

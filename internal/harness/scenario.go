@@ -69,6 +69,14 @@ type Scenario struct {
 	DriftThreshold float64
 	// ReplanCooldown is the minimum virtual time between replans.
 	ReplanCooldown float64
+	// ArbiterCaps, when non-nil, runs the scenario behind a scripted
+	// stage-boundary arbiter: stage i's allocation is capped at
+	// ArbiterCaps[i] GPUs, exercising the multi-tenant grant gate inside
+	// the chaos sweep. Caps are part of the scenario (a pure function of
+	// seed and index), so capped runs replay like any other. Capped
+	// scenarios never enable replanning: the gate and the replan
+	// controller both rewrite the live plan.
+	ArbiterCaps []int
 }
 
 // DriftModel describes an injected latency regime change: from virtual
@@ -228,6 +236,20 @@ func Generate(seed uint64, index int) Scenario {
 	if r.Intn(3) == 0 {
 		sc.Estimator = sim.EstimatorAnalytic
 	}
+
+	// Appended after every pre-existing draw (same corpus-stability rule):
+	// a fifth of scenarios run behind a scripted stage-boundary arbiter
+	// cap, so the chaos sweep covers multi-tenant grant gating — squeezed
+	// allocations, queued trial waves, grant journaling — under every
+	// fault model. Gating excludes the replan controller by design.
+	if r.Intn(5) == 0 {
+		caps := make([]int, s.NumStages())
+		for i := range caps {
+			caps[i] = 1 + r.Intn(maxGPUs)
+		}
+		sc.ArbiterCaps = caps
+		sc.ReplanEnabled = false
+	}
 	return sc
 }
 
@@ -236,10 +258,11 @@ func (sc Scenario) String() string {
 	return fmt.Sprintf(
 		"seed=%d index=%d spec=%v model=%s inst=%s billing=%v market=%v minCharge=%gs dataGB=%.1f "+
 			"faults={pfail=%.3f preemptMean=%.0fs} restore=%.1fs scatter=%v maxGPUs=%d deadlineFactor=%.2f estimator=%v "+
-			"drift={x%.1f@%.2f} replan=%v threshold=%.2f cooldown=%.0fs",
+			"drift={x%.1f@%.2f} replan=%v threshold=%.2f cooldown=%.0fs caps=%v",
 		sc.BatchSeed, sc.Index, sc.Spec, sc.Model.Name, sc.Profile.Instance.Name,
 		sc.Profile.Pricing.Billing, sc.Profile.Pricing.Market, sc.Profile.Pricing.MinChargeSeconds,
 		sc.Profile.DatasetGB, sc.Faults.ProvisionFailureProb, sc.Faults.PreemptionMeanSeconds,
 		sc.RestoreSeconds, sc.DisablePlacement, sc.MaxGPUs, sc.DeadlineFactor, sc.Estimator,
-		sc.Drift.Factor, sc.Drift.StartFraction, sc.ReplanEnabled, sc.DriftThreshold, sc.ReplanCooldown)
+		sc.Drift.Factor, sc.Drift.StartFraction, sc.ReplanEnabled, sc.DriftThreshold, sc.ReplanCooldown,
+		sc.ArbiterCaps)
 }

@@ -24,6 +24,7 @@ func goldenRecords() []Record {
 		&TraceEvent{At: 1.5, Kind: trace.KindStageStart, Stage: 0, Trial: -1, GPUs: 3, Nodes: 1},
 		&TraceEvent{At: 2.5, Kind: trace.KindTrialStart, Stage: 0, Trial: 0, GPUs: 1, Nodes: 1},
 		&TraceEvent{At: 9.25, Kind: trace.KindTrialIter, Stage: 0, Trial: 0, GPUs: 1, Nodes: 1},
+		&Grant{Stage: 1, Want: 3, Granted: 2, At: 10.5},
 		&End{JCT: 42.5, Cost: 3.25, BestTrial: 0},
 	}
 }

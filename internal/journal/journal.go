@@ -43,6 +43,7 @@ const (
 	tagDecision = 3
 	tagEnd      = 4
 	tagSnapshot = 5
+	tagGrant    = 6
 )
 
 // maxLen bounds every length-prefixed field (plans, strings, trial lists)
@@ -212,6 +213,29 @@ func (d *Decision) Encode() []byte {
 	return b.bytes()
 }
 
+// Grant records one stage-boundary arbitration: the cross-experiment
+// arbiter received a request for Want GPUs at stage Stage (virtual time
+// At) and granted Granted. Grants are part of the verified prefix, so
+// recovery re-derives the identical allocation sequence — a recovered
+// run replays the journaled grants instead of consulting a live arbiter
+// whose other tenants are gone.
+type Grant struct {
+	Stage   int64
+	Want    int64
+	Granted int64
+	At      float64
+}
+
+// Encode implements Record.
+func (g *Grant) Encode() []byte {
+	b := newEnc(tagGrant)
+	b.i64(g.Stage)
+	b.i64(g.Want)
+	b.i64(g.Granted)
+	b.f64(g.At)
+	return b.bytes()
+}
+
 // End closes a journal: the run completed and produced a result. A
 // journal without an End record is a crashed run.
 type End struct {
@@ -326,6 +350,13 @@ func DecodeRecord(payload []byte) (Record, error) {
 		e.Cost = d.mustF64(&err)
 		e.BestTrial = d.mustI64(&err)
 		rec = e
+	case tagGrant:
+		g := &Grant{}
+		g.Stage = d.mustI64(&err)
+		g.Want = d.mustI64(&err)
+		g.Granted = d.mustI64(&err)
+		g.At = d.mustF64(&err)
+		rec = g
 	case tagSnapshot:
 		s, serr := decodeSnapshot(d)
 		if serr != nil {

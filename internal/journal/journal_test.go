@@ -30,6 +30,8 @@ func sampleRecords() []Record {
 		&Decision{Seq: 3, At: 1, Reason: "operator-override", OldAlloc: []int64{1}, NewAlloc: []int64{2}},
 		&End{JCT: 812.75, Cost: 19.5, BestTrial: 6},
 		&End{JCT: 0, Cost: 0, BestTrial: -1},
+		&Grant{Stage: 1, Want: 8, Granted: 3, At: 42.5},
+		&Grant{Stage: 0, Want: 1, Granted: 1, At: 0},
 		&Snapshot{Seq: 14, VNow: 310.5, ClockSeq: 800, Stage: 1, Alloc: []int64{4, 2},
 			Trials: []TrialSnap{
 				{ID: 0, State: 3, CumIters: 12, HasAcc: true, Acc: 0.91},

@@ -1,0 +1,84 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidName(t *testing.T) {
+	good := []string{"a", "acme", "tenant-1", "0x", "a-b-c", strings.Repeat("x", 64)}
+	for _, s := range good {
+		if !ValidName(s) {
+			t.Errorf("ValidName(%q) = false", s)
+		}
+	}
+	bad := []string{"", "-a", "a-", "A", "a_b", "a.b", "a/b", "..", strings.Repeat("x", 65)}
+	for _, s := range bad {
+		if ValidName(s) {
+			t.Errorf("ValidName(%q) = true", s)
+		}
+	}
+}
+
+func TestRunDirCreatesAndValidates(t *testing.T) {
+	root := t.TempDir()
+	dir, err := RunDir(root, "acme", "exp-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(root, "acme", "exp-0001"); dir != want {
+		t.Fatalf("dir = %q, want %q", dir, want)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("stat %s: %v", dir, err)
+	}
+	// Idempotent.
+	if _, err := RunDir(root, "acme", "exp-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDir(root, "../evil", "exp-0001"); err == nil {
+		t.Error("traversal tenant accepted")
+	}
+	if _, err := RunDir(root, "acme", "Exp"); err == nil {
+		t.Error("invalid run name accepted")
+	}
+}
+
+func TestListRuns(t *testing.T) {
+	root := t.TempDir()
+	for _, p := range [][2]string{{"beta", "exp-0002"}, {"acme", "exp-0003"}, {"acme", "exp-0001"}} {
+		if _, err := RunDir(root, p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Noise that must be skipped: invalid names, plain files.
+	if err := os.MkdirAll(filepath.Join(root, "BAD", "exp-0009"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := ListRuns(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{{"acme", "exp-0001"}, {"acme", "exp-0003"}, {"beta", "exp-0002"}}
+	if len(refs) != len(want) {
+		t.Fatalf("ListRuns = %d refs, want %d", len(refs), len(want))
+	}
+	for i, w := range want {
+		if refs[i].Tenant != w[0] || refs[i].Run != w[1] {
+			t.Errorf("refs[%d] = %s/%s, want %s/%s", i, refs[i].Tenant, refs[i].Run, w[0], w[1])
+		}
+		if refs[i].Dir != filepath.Join(root, w[0], w[1]) {
+			t.Errorf("refs[%d].Dir = %q", i, refs[i].Dir)
+		}
+	}
+	// Missing root is empty, not an error.
+	refs, err = ListRuns(filepath.Join(root, "nope"))
+	if err != nil || refs != nil {
+		t.Fatalf("missing root: %v, %v", refs, err)
+	}
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+	"repro/internal/journal"
+)
+
+// RecoverReport summarizes one restart's recovery pass.
+type RecoverReport struct {
+	// Adopted counts completed runs re-registered from their replay
+	// sidecars (no re-execution).
+	Adopted int
+	// Resumed counts unfinished runs re-driven to completion by verified
+	// re-execution of their journals.
+	Resumed int
+	// Damaged lists experiment ids whose journals had truncated damage
+	// (torn tail, corrupt suffix) — recovered anyway from the trusted
+	// prefix.
+	Damaged []string
+	// Failed lists experiment ids whose recovery could not complete
+	// (divergence, unreadable sidecar); they are registered as failed.
+	Failed []string
+}
+
+// Recover scans DataDir for experiments from previous process
+// generations and brings the server back to a consistent state:
+// completed runs (replay.json present) are adopted as done, and
+// unfinished runs are resumed by verified re-execution — the journaled
+// prefix (including every Grant record) is byte-compared while the run
+// is re-driven, then fresh stages arbitrate live. Resumption is
+// sequential in (tenant, id) order, so recovered grant appends are
+// deterministic given the journals. Call before serving traffic.
+func (s *Server) Recover() (RecoverReport, error) {
+	var rep RecoverReport
+	if s.cfg.DataDir == "" {
+		return rep, nil
+	}
+	refs, err := journal.ListRuns(s.cfg.DataDir)
+	if err != nil {
+		return rep, err
+	}
+	for _, ref := range refs {
+		sc, err := readSidecar(filepath.Join(ref.Dir, "submission.json"))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// A directory with no submission sidecar never held an
+				// admitted experiment; skip it.
+				continue
+			}
+			return rep, fmt.Errorf("serve: recover %s/%s: %w", ref.Tenant, ref.Run, err)
+		}
+		if t, ok, err := readReplay(filepath.Join(ref.Dir, "replay.json")); err != nil {
+			return rep, fmt.Errorf("serve: recover %s/%s: %w", ref.Tenant, ref.Run, err)
+		} else if ok {
+			s.reg.adopt(newRecoveredDone(t), false)
+			rep.Adopted++
+			continue
+		}
+		damaged, err := s.resume(sc)
+		if damaged {
+			rep.Damaged = append(rep.Damaged, sc.ID)
+		}
+		if err != nil {
+			rep.Failed = append(rep.Failed, sc.ID)
+			continue
+		}
+		rep.Resumed++
+	}
+	return rep, nil
+}
+
+// resume re-drives one unfinished run from its journal. The recovered
+// experiment is admitted into the live arbiter; the journaled grant
+// prefix is scripted (and byte-verified by the resumed writer), and any
+// stages beyond the crash point arbitrate live.
+func (s *Server) resume(side subSidecar) (damaged bool, err error) {
+	exp := newExperiment(side.ID, side.Submission)
+	s.reg.adopt(exp, true)
+	s.arb.Note("submit", exp.ID, exp.Sub.Tenant)
+	if err := s.arb.Admit(exp.ID, exp.Sub.Tenant); err != nil {
+		// Sequential resumption on a quiesced server: only possible when
+		// more unfinished runs exist than cluster GPUs. Fail this run
+		// rather than wedge recovery.
+		exp.fail(err)
+		s.reg.Complete(exp)
+		return false, err
+	}
+	dir, err := journal.RunDir(s.cfg.DataDir, exp.Sub.Tenant, exp.ID)
+	if err != nil {
+		s.finish(exp)
+		exp.fail(err)
+		return false, err
+	}
+	fb, err := journal.NewFileBackend(dir)
+	if err != nil {
+		s.finish(exp)
+		exp.fail(err)
+		return false, err
+	}
+	defer func() {
+		if cerr := fb.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "rbserve: closing recovered journal:", cerr)
+		}
+	}()
+	script, err := grantPrefix(fb)
+	if err != nil {
+		s.finish(exp)
+		exp.fail(err)
+		return false, err
+	}
+	jw, hdr, damage, err := journal.Resume(fb, s.cfg.SnapshotInterval)
+	if err != nil {
+		s.finish(exp)
+		exp.fail(err)
+		return damage != "", err
+	}
+	sc, err := BuildScenario(side.Submission)
+	if err != nil {
+		s.finish(exp)
+		exp.fail(err)
+		return damage != "", err
+	}
+	if hdr != nil && (hdr.BatchSeed != sc.BatchSeed || hdr.Index != int64(sc.Index)) {
+		err := fmt.Errorf("serve: journal header (seed=%d index=%d) does not match submission (seed=%d index=%d)",
+			hdr.BatchSeed, hdr.Index, sc.BatchSeed, sc.Index)
+		s.finish(exp)
+		exp.fail(err)
+		return damage != "", err
+	}
+	if s.armJournal != nil {
+		s.armJournal(exp.ID, jw)
+	}
+	s.run(exp, sc, jw, dir, script)
+	if exp.State() == StateFailed {
+		return damage != "", fmt.Errorf("serve: recovery run failed")
+	}
+	return damage != "", nil
+}
+
+// grantPrefix decodes the trusted records of a crashed journal and
+// returns its Grant sequence — the arbitration decisions the previous
+// generation's run consumed before dying. The resumed re-execution
+// replays exactly these.
+func grantPrefix(b journal.Backend) ([]harness.GrantDecision, error) {
+	raw, err := b.Load()
+	if err != nil {
+		return nil, err
+	}
+	var out []harness.GrantDecision
+	for _, payload := range raw.Records {
+		rec, err := journal.DecodeRecord(payload)
+		if err != nil {
+			// Damage inside the trusted set would have been truncated by
+			// Load; an undecodable record here is real corruption.
+			return nil, fmt.Errorf("serve: grant prescan: %w", err)
+		}
+		if g, ok := rec.(*journal.Grant); ok {
+			out = append(out, harness.GrantDecision{
+				Stage: int(g.Stage), Want: int(g.Want), Granted: int(g.Granted), At: g.At,
+			})
+		}
+	}
+	return out, nil
+}
+
+// readSidecar loads a run's submission.json.
+func readSidecar(path string) (subSidecar, error) {
+	var side subSidecar
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return side, err
+	}
+	if err := json.Unmarshal(data, &side); err != nil {
+		return side, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return side, nil
+}
+
+// readReplay loads a run's replay.json when present.
+func readReplay(path string) (ReplayTuple, bool, error) {
+	var t ReplayTuple
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return t, false, nil
+	}
+	if err != nil {
+		return t, false, err
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, false, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return t, true, nil
+}

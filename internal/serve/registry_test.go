@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+func regSub(tenant string) Submission {
+	return Submission{
+		Tenant: tenant, Model: "resnet50",
+		Stages: [][2]int{{4, 2}, {2, 2}},
+		Seed:   1, MaxGPUs: 4, DeadlineFactor: 2,
+	}
+}
+
+func mustSubmit(t *testing.T, r *Registry, tenant string) *Experiment {
+	t.Helper()
+	exp, err := r.Submit(regSub(tenant), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+// TestRegistryBacklog: the tenant queue is bounded; overflow returns
+// ErrBacklog with a Retry-After hint that grows with the backlog, and
+// other tenants are unaffected.
+func TestRegistryBacklog(t *testing.T) {
+	r := NewRegistry(Quota{MaxQueued: 2, MaxLive: 1, MaxGPUs: 8}, 4)
+	mustSubmit(t, r, "acme")
+	mustSubmit(t, r, "acme")
+	_, err := r.Submit(regSub("acme"), nil)
+	var bl *ErrBacklog
+	if !errors.As(err, &bl) {
+		t.Fatalf("overflow err = %v", err)
+	}
+	if bl.Tenant != "acme" || bl.Queued != 2 || bl.RetryAfterSeconds != 3 {
+		t.Fatalf("backlog = %+v", bl)
+	}
+	// Another tenant still has a fresh queue.
+	mustSubmit(t, r, "beta")
+	// Draining one slot reopens the queue.
+	if exp := r.NextRunnable(); exp == nil || exp.Sub.Tenant != "acme" {
+		t.Fatalf("NextRunnable = %+v", exp)
+	}
+	mustSubmit(t, r, "acme")
+}
+
+// TestRegistryRoundRobinFIFO: drain order is round-robin across tenants
+// in sorted order, FIFO within each tenant.
+func TestRegistryRoundRobinFIFO(t *testing.T) {
+	r := NewRegistry(Quota{MaxQueued: 8, MaxLive: 8, MaxGPUs: 8}, 16)
+	// Interleave submissions: a0 a1 b0 c0 b1 a2.
+	a0 := mustSubmit(t, r, "a-corp")
+	a1 := mustSubmit(t, r, "a-corp")
+	b0 := mustSubmit(t, r, "b-corp")
+	c0 := mustSubmit(t, r, "c-corp")
+	b1 := mustSubmit(t, r, "b-corp")
+	a2 := mustSubmit(t, r, "a-corp")
+
+	want := []*Experiment{a0, b0, c0, a1, b1, a2}
+	for i, w := range want {
+		got := r.NextRunnable()
+		if got != w {
+			t.Fatalf("pick %d = %v, want %v", i, got.ID, w.ID)
+		}
+	}
+	if extra := r.NextRunnable(); extra != nil {
+		t.Fatalf("empty registry still runnable: %v", extra.ID)
+	}
+}
+
+// TestRegistryLiveBounds: per-tenant MaxLive and the global bound both
+// gate NextRunnable; Complete releases the slots.
+func TestRegistryLiveBounds(t *testing.T) {
+	r := NewRegistry(Quota{MaxQueued: 8, MaxLive: 1, MaxGPUs: 8}, 2)
+	a0 := mustSubmit(t, r, "acme")
+	mustSubmit(t, r, "acme") // blocked by tenant MaxLive=1
+	b0 := mustSubmit(t, r, "beta")
+	c0 := mustSubmit(t, r, "ceta") // blocked by global maxLive=2
+
+	if got := r.NextRunnable(); got != a0 {
+		t.Fatalf("pick = %v", got.ID)
+	}
+	if got := r.NextRunnable(); got != b0 {
+		t.Fatalf("pick = %v", got.ID)
+	}
+	if got := r.NextRunnable(); got != nil {
+		t.Fatalf("global bound ignored: picked %v", got.ID)
+	}
+	r.Complete(b0)
+	// acme is still at its tenant bound; ceta runs instead.
+	if got := r.NextRunnable(); got != c0 {
+		t.Fatalf("pick after completion = %v", got.ID)
+	}
+	r.Complete(a0)
+	if got := r.NextRunnable(); got == nil || got.Sub.Tenant != "acme" {
+		t.Fatalf("acme's second experiment not runnable: %+v", got)
+	}
+}
+
+// TestRegistryRequeueFront: a requeued pick keeps its place at the head
+// of the tenant queue.
+func TestRegistryRequeueFront(t *testing.T) {
+	r := NewRegistry(DefaultQuota(), 8)
+	e0 := mustSubmit(t, r, "acme")
+	e1 := mustSubmit(t, r, "acme")
+	got := r.NextRunnable()
+	if got != e0 {
+		t.Fatalf("pick = %v", got.ID)
+	}
+	r.requeueFront(got)
+	if live, _, _ := r.Stats(); live != 0 {
+		t.Fatalf("live after requeue = %d", live)
+	}
+	if got := r.NextRunnable(); got != e0 {
+		t.Fatalf("re-pick = %v, want %v", got.ID, e0.ID)
+	}
+	if got := r.NextRunnable(); got != e1 {
+		t.Fatalf("next pick = %v, want %v", got.ID, e1.ID)
+	}
+}
+
+// TestRegistryStatsAndLookup: queue positions, tenant stats, the sorted
+// All view, and id lookup.
+func TestRegistryStatsAndLookup(t *testing.T) {
+	r := NewRegistry(DefaultQuota(), 8)
+	e0 := mustSubmit(t, r, "acme")
+	e1 := mustSubmit(t, r, "acme")
+	if p := r.QueuePos(e0); p != 1 {
+		t.Errorf("QueuePos(e0) = %d", p)
+	}
+	if p := r.QueuePos(e1); p != 2 {
+		t.Errorf("QueuePos(e1) = %d", p)
+	}
+	if got, ok := r.Get(e0.ID); !ok || got != e0 {
+		t.Errorf("Get(%s) = %v, %v", e0.ID, got, ok)
+	}
+	if _, ok := r.Get("exp-9999"); ok {
+		t.Error("Get of unknown id succeeded")
+	}
+	ts := r.Tenant("acme")
+	if ts.Queued != 2 || ts.Live != 0 || ts.Completed != 0 {
+		t.Errorf("tenant stats = %+v", ts)
+	}
+	r.NextRunnable()
+	if p := r.QueuePos(e0); p != 0 {
+		t.Errorf("QueuePos of running experiment = %d", p)
+	}
+	all := r.All()
+	if len(all) != 2 || all[0] != e0 || all[1] != e1 {
+		t.Errorf("All = %v", all)
+	}
+	// Unknown tenants read as zero, not as an error.
+	if ts := r.Tenant("nope"); ts.Queued != 0 || ts.Live != 0 {
+		t.Errorf("unknown tenant stats = %+v", ts)
+	}
+}
+
+// TestRegistryAdoptAdvancesIDs: recovered experiments advance the id
+// counter so new submissions never collide with journaled runs.
+func TestRegistryAdoptAdvancesIDs(t *testing.T) {
+	r := NewRegistry(DefaultQuota(), 8)
+	rec := newExperiment("exp-0007", regSub("acme"))
+	r.adopt(rec, false)
+	next := mustSubmit(t, r, "acme")
+	if next.ID != "exp-0008" {
+		t.Fatalf("post-adopt id = %s, want exp-0008", next.ID)
+	}
+	ts := r.Tenant("acme")
+	if ts.Completed != 1 {
+		t.Fatalf("adopted-done not counted: %+v", ts)
+	}
+	// Live adoption consumes a live slot.
+	live := newExperiment("exp-0009", regSub("acme"))
+	r.adopt(live, true)
+	if l, _, _ := r.Stats(); l != 1 {
+		t.Fatalf("live after adopt = %d", l)
+	}
+}

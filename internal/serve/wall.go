@@ -1,0 +1,15 @@
+package serve
+
+import "time"
+
+// wallNow is the package's single wall-clock read: an ops-only surface
+// for submission/start/finish timestamps in status bodies. Nothing
+// downstream of the grant gate reads it — wall time never feeds a run,
+// a grant decision, or a digest, so the determinism boundary argued in
+// the package doc holds by construction: grep for time. in this package
+// and this is the only hit.
+//
+//rbvet:impure(ops wall-clock surface: HTTP status timestamps only, never feeds runs or digests)
+func wallNow() float64 {
+	return float64(time.Now().UnixMilli()) / 1000 //rbvet:ignore wallclock — ops status timestamps; outside the determinism boundary
+}

@@ -33,6 +33,10 @@ printf "\n== Durable journal: codec goldens, corruption handling, crash-point re
 go test ./internal/journal -count=1 -timeout=10m
 go test ./internal/harness -run "^(TestCrashPointSweepMem|TestSnapshotIntervalInvisible|TestResumeRefusesForeignJournal)$" -count=1 -timeout=10m -v
 
+printf "\n== Multi-tenant control plane: arbiter differential, backpressure, cross-generation recovery ==\n"
+go test ./internal/serve -run "^(TestSlackPolicyBeatsFIFOOnDeadlines|TestRunFleetDeterministic|TestServerBackpressure|TestServerCrashRecoveryAcrossGenerations)$" -count=1 -timeout=10m -v
+go test ./internal/harness -run "^(TestArbitratedReplayBitIdentical|TestCheckFleetInvariantsCatchesViolations)$" -count=1 -timeout=10m -v
+
 printf "\n== Race-detector pass over the concurrent packages ==\n"
 # -race needs cgo; everything else stays CGO_ENABLED=0.
 CGO_ENABLED=1 go test -race ./internal/sim ./internal/planner ./internal/stats ./internal/par -count=1 -timeout=20m
